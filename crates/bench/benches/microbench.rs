@@ -1,0 +1,134 @@
+//! Criterion microbenches: the hot paths of the testbed.
+//!
+//! These measure the simulator substrate itself (wire codecs, link model,
+//! congestion-control stepping, ack bookkeeping, state-machine inference,
+//! and a full end-to-end page load), so regressions in experiment runtime
+//! are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use longlook_core::prelude::*;
+use longlook_quic::{Frame, QuicPacket};
+use longlook_sim::link::{LinkConfig, LinkDir, Verdict};
+use longlook_sim::{RateSchedule, SimRng};
+use longlook_statemachine::{infer, Trace};
+use longlook_transport::cubic::{Cubic, CubicConfig};
+use longlook_transport::CongestionControl;
+use longlook_transport::RttEstimator;
+
+fn bench_wire(c: &mut Criterion) {
+    let pkt = QuicPacket {
+        conn_id: 42,
+        pn: 123_456,
+        frames: vec![
+            Frame::Ack {
+                largest: 123_455,
+                ack_delay_us: 900,
+                blocks: vec![(123_000, 123_455), (120_000, 122_000)],
+            },
+            Frame::Stream {
+                id: 5,
+                offset: 1 << 20,
+                len: 1300,
+                fin: false,
+            },
+        ],
+    };
+    c.bench_function("quic_packet_encode", |b| {
+        b.iter(|| black_box(pkt.encode()))
+    });
+    let bytes = pkt.encode();
+    c.bench_function("quic_packet_decode", |b| {
+        b.iter(|| black_box(QuicPacket::decode(bytes.clone()).expect("valid")))
+    });
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("link_transit_shaped", |b| {
+        let cfg = LinkConfig::shaped(
+            RateSchedule::fixed_mbps(100.0),
+            Dur::from_millis(18),
+            Dur::from_millis(36),
+        )
+        .with_loss(0.01);
+        let mut link = LinkDir::new(cfg, SimRng::new(7));
+        let mut t = Time::ZERO;
+        b.iter(|| {
+            t += Dur::from_micros(100);
+            matches!(black_box(link.transit(t, 1400)), Verdict::DeliverAt(_))
+        })
+    });
+}
+
+fn bench_cubic(c: &mut Criterion) {
+    c.bench_function("cubic_on_ack", |b| {
+        let mut cubic = Cubic::new(CubicConfig::quic34(1350), Time::ZERO);
+        let mut rtt = RttEstimator::new(Dur::from_millis(36));
+        rtt.on_sample(Dur::from_millis(36), Dur::ZERO);
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            now += Dur::from_micros(500);
+            cubic.on_ack(now, now - Dur::from_millis(36), 1350, &rtt, 100_000, false);
+            black_box(cubic.cwnd())
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let labels = ["Init", "SlowStart", "CongestionAvoidance", "Recovery"];
+    let traces: Vec<Trace> = (0..20)
+        .map(|k| {
+            let visits: Vec<(Time, String)> = (0..50)
+                .map(|i| {
+                    (
+                        Time::ZERO + Dur::from_millis(i * 10),
+                        labels[(i as usize + k) % labels.len()].to_string(),
+                    )
+                })
+                .collect();
+            Trace::new(visits, Time::ZERO + Dur::from_millis(500))
+        })
+        .collect();
+    c.bench_function("statemachine_infer_20x50", |b| {
+        b.iter(|| black_box(infer(&traces)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("quic_100kb_page_load", |b| {
+        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024))
+            .with_rounds(1);
+        b.iter(|| {
+            black_box(run_page_load(
+                &ProtoConfig::Quic(QuicConfig::default()),
+                &sc,
+                0,
+            ))
+        })
+    });
+    group.bench_function("tcp_100kb_page_load", |b| {
+        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024))
+            .with_rounds(1);
+        b.iter(|| {
+            black_box(run_page_load(
+                &ProtoConfig::Tcp(TcpConfig::default()),
+                &sc,
+                0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_link,
+    bench_cubic,
+    bench_inference,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro list            # show all experiment ids
+//! repro fig6a           # run one experiment, print + save to results/
+//! repro all             # run everything
+//! ```
+//!
+//! Set `LONGLOOK_ROUNDS` to lower the per-measurement rounds (default 10)
+//! for quicker smoke runs.
+
+use longlook_bench::{list_experiments, run_experiment};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment-id>|list|all");
+    eprintln!("experiments:");
+    for (id, desc) in list_experiments() {
+        eprintln!("  {id:<18} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn save(id: &str, body: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{id}.txt"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(body.as_bytes());
+    }
+    // Extract DOT blocks into .dot files for Graphviz users.
+    if body.contains("digraph") {
+        let mut count = 0;
+        let mut rest = body;
+        while let Some(start) = rest.find("digraph") {
+            let tail = &rest[start..];
+            let Some(end) = tail.find("\n}") else { break };
+            let dot = &tail[..end + 2];
+            let path = dir.join(format!("{id}_{count}.dot"));
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = f.write_all(dot.as_bytes());
+            }
+            count += 1;
+            rest = &tail[end + 2..];
+        }
+    }
+}
+
+fn run_one(id: &str) -> bool {
+    let started = Instant::now();
+    match run_experiment(id) {
+        Some(body) => {
+            println!("==================== {id} ====================");
+            println!("{body}");
+            println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+            save(id, &body);
+            true
+        }
+        None => {
+            eprintln!("unknown experiment: {id}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("list") => usage(),
+        Some("all") => {
+            let started = Instant::now();
+            for (id, _) in list_experiments() {
+                run_one(id);
+            }
+            println!(
+                "[all experiments completed in {:.1}s]",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Some(id) => {
+            if !run_one(id) {
+                usage();
+            }
+        }
+    }
+}

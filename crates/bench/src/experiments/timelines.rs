@@ -1,0 +1,191 @@
+//! Timeline figures: 9 (cwnd under loss), 10 (NACK threshold vs
+//! reordering), 11 (variable bandwidth).
+
+use crate::rounds;
+use longlook_core::prelude::*;
+use longlook_core::testbed::{FlowSpec, Testbed};
+use std::fmt::Write as _;
+
+fn quic() -> ProtoConfig {
+    ProtoConfig::Quic(QuicConfig::default())
+}
+
+fn tcp() -> ProtoConfig {
+    ProtoConfig::Tcp(TcpConfig::default())
+}
+
+/// Fig 9: congestion window over time at 100 Mbps with 1% loss.
+pub fn fig9() -> String {
+    let mut out = String::from(
+        "Fig 9 — congestion window over time, 100 Mbps, 1% loss (KB, sampled\n\
+         every 250 ms while downloading a 10 MB object)\n\n",
+    );
+    let net = NetProfile::baseline(100.0).with_loss(0.01);
+    for proto in [quic(), tcp()] {
+        let sc = Scenario::new(net.clone(), PageSpec::single(10 * 1024 * 1024))
+            .with_rounds(1)
+            .with_seed(900);
+        let rec = run_page_load(&proto, &sc, 0);
+        let mut samples = Vec::new();
+        let mut next = Dur::ZERO;
+        for &(t, w) in &rec.server_cwnd {
+            let since = t.saturating_since(Time::ZERO);
+            if since >= next {
+                samples.push(format!("{:4}", w / 1024));
+                next += Dur::from_millis(250);
+            }
+        }
+        let stats = rec.server_stats.unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:<5} plt={:>6.0}ms losses={:<4} rtx={:<4} | {}",
+            proto.name(),
+            rec.plt.map_or(f64::NAN, |d| d.as_millis_f64()),
+            stats.losses_detected,
+            stats.retransmissions,
+            samples.join(" ")
+        );
+    }
+    out.push_str(
+        "\npaper shape: under the same loss, QUIC recovers faster and holds a\n\
+         larger window on average than TCP.\n",
+    );
+    out
+}
+
+/// Fig 10: larger NACK thresholds rescue QUIC from jitter-induced
+/// reordering (10 MB, 112 ms RTT, ±10 ms jitter).
+pub fn fig10() -> String {
+    let mut out = String::from(
+        "Fig 10 — QUIC vs TCP downloading 10 MB (112 ms RTT, ±10 ms jitter\n\
+         causing packet reordering), mean PLT over rounds\n\n",
+    );
+    let net = NetProfile::baseline(50.0)
+        .with_extra_rtt(Dur::from_millis(76))
+        .with_jitter(Dur::from_millis(10));
+    let page = PageSpec::single(10 * 1024 * 1024);
+    let _ = writeln!(
+        out,
+        "{:<24} | {:>14} | {:>10} | {:>12}",
+        "Sender", "PLT ms (std)", "false loss", "spurious rtx"
+    );
+    for threshold in [3u32, 10, 25, 50] {
+        let mut cfg = QuicConfig::default();
+        cfg.nack_threshold = threshold;
+        let proto = ProtoConfig::Quic(cfg);
+        let mut plt = Summary::new();
+        let mut losses = Summary::new();
+        let mut spurious = Summary::new();
+        for k in 0..rounds() {
+            let sc = Scenario::new(net.clone(), page.clone())
+                .with_rounds(1)
+                .with_seed(1000 + k);
+            let rec = run_page_load(&proto, &sc, k);
+            plt.add(rec.plt.unwrap_or(sc.deadline).as_millis_f64());
+            let st = rec.server_stats.unwrap_or_default();
+            losses.add(st.losses_detected as f64);
+            spurious.add(st.spurious_retransmissions as f64);
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} | {:>14} | {:>10.0} | {:>12.0}",
+            format!("QUIC thresh={threshold}"),
+            plt.mean_std(),
+            losses.mean(),
+            spurious.mean(),
+        );
+    }
+    // TCP baseline with DSACK adaptation.
+    let mut plt = Summary::new();
+    let mut losses = Summary::new();
+    let mut spurious = Summary::new();
+    for k in 0..rounds() {
+        let sc = Scenario::new(net.clone(), page.clone())
+            .with_rounds(1)
+            .with_seed(1000 + k);
+        let rec = run_page_load(&tcp(), &sc, k);
+        plt.add(rec.plt.unwrap_or(sc.deadline).as_millis_f64());
+        let st = rec.server_stats.unwrap_or_default();
+        losses.add(st.losses_detected as f64);
+        spurious.add(st.spurious_retransmissions as f64);
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} | {:>14} | {:>10.0} | {:>12.0}",
+        "TCP (DSACK-adaptive)",
+        plt.mean_std(),
+        losses.mean(),
+        spurious.mean(),
+    );
+    out.push_str(
+        "\npaper shape: at the default threshold (3) reordering is misread as\n\
+         loss and QUIC is much slower than TCP; raising the threshold\n\
+         restores QUIC's performance.\n",
+    );
+    out
+}
+
+/// Fig 11: variable bandwidth (210 MB, rate redrawn from [50, 150] Mbps
+/// every second).
+pub fn fig11() -> String {
+    let mut out = String::from(
+        "Fig 11 — downloading 210 MB while the bottleneck rate is redrawn\n\
+         uniformly from [50, 150] Mbps every second\n\n",
+    );
+    let run_secs = 20u64;
+    let mut q_mean = Summary::new();
+    let mut t_mean = Summary::new();
+    for k in 0..rounds().min(5) {
+        for (proto, acc) in [(quic(), &mut q_mean), (tcp(), &mut t_mean)] {
+            // A home-router-sized buffer (the paper's OpenWRT testbed):
+            // down-shifts in rate overflow it, and recovery speed decides
+            // the average throughput.
+            let mut net = NetProfile::baseline(100.0).with_buffer(100 * 1024);
+            net.rate = RateSchedule::random_hold_mbps(
+                50.0,
+                150.0,
+                Dur::from_secs(1),
+                1100 + k,
+            );
+            let catalog = PageSpec::single(210 * 1024 * 1024);
+            let mut tb = Testbed::direct(
+                1100 + k,
+                &net,
+                DeviceProfile::DESKTOP,
+                catalog,
+                vec![FlowSpec {
+                    proto: proto.clone(),
+                    zero_rtt: true,
+                    app: Box::new(BulkClient::new(0, Dur::from_secs(1))),
+                }],
+                None,
+                false,
+            );
+            tb.world.run_until(Time::ZERO + Dur::from_secs(run_secs));
+            let app = tb.client_host().app::<BulkClient>(0);
+            let tl = app.throughput_mbps();
+            let steady = &tl[2.min(tl.len())..];
+            let mean = if steady.is_empty() {
+                0.0
+            } else {
+                steady.iter().sum::<f64>() / steady.len() as f64
+            };
+            acc.add(mean);
+            if k == 0 {
+                let series: Vec<String> =
+                    tl.iter().map(|v| format!("{v:3.0}")).collect();
+                let _ = writeln!(out, "{:<5} Mbps/s: {}", proto.name(), series.join(" "));
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nQUIC mean throughput: {} Mbps\nTCP  mean throughput: {} Mbps\n\
+         \npaper shape: QUIC tracks the fluctuating rate better (79 vs 46 Mbps\n\
+         in the paper's testbed) thanks to unambiguous acks and faster\n\
+         window recovery.",
+        q_mean.mean_std(),
+        t_mean.mean_std()
+    );
+    out
+}

@@ -1,0 +1,18 @@
+//! The reproduction harness: one entry point per table and figure of the
+//! paper, returning the regenerated artifact as text (and optionally DOT).
+//!
+//! Every experiment is a pure function of its seed; `LONGLOOK_ROUNDS`
+//! overrides the default 10 rounds for quicker smoke runs.
+
+pub mod experiments;
+
+pub use experiments::{list_experiments, run_experiment};
+
+/// Rounds per measurement (paper: "at least 10"); override with the
+/// `LONGLOOK_ROUNDS` environment variable.
+pub fn rounds() -> u64 {
+    std::env::var("LONGLOOK_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}

@@ -1,0 +1,317 @@
+//! The experiment runner: back-to-back protocol pairs, >= 10 rounds,
+//! Welch-gated comparisons, heatmap sweeps.
+//!
+//! Methodology per Sec 3.3: "we run experiments in 10 rounds or more, each
+//! consisting of a download using TCP and one using QUIC, back-to-back. We
+//! present the percent differences in performance between TCP and QUIC and
+//! indicate whether they are statistically significant (p < 0.01)."
+//! Back-to-back here means the two protocols see the *same* round seed —
+//! the identical network realization — which is a paired design stronger
+//! than the paper's wall-clock adjacency.
+
+use crate::testbed::{FlowSpec, NetProfile, ProxyTestbed, Testbed};
+use longlook_http::app::WebClient;
+use longlook_http::host::ProtoConfig;
+use longlook_http::workload::PageSpec;
+use longlook_sim::time::{Dur, Time};
+use longlook_sim::DeviceProfile;
+use longlook_stats::{Comparison, Heatmap, HeatmapCell};
+use longlook_transport::ccstate::StateTrace;
+use longlook_transport::conn::ConnStats;
+
+/// One measurement scenario.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Emulated network.
+    pub net: NetProfile,
+    /// Client device model.
+    pub device: DeviceProfile,
+    /// Page to load.
+    pub page: PageSpec,
+    /// Rounds per protocol (paper: at least 10).
+    pub rounds: u64,
+    /// Base seed; round `k` uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Whether the QUIC client holds 0-RTT state.
+    pub zero_rtt: bool,
+    /// Simulated-time budget per run.
+    pub deadline: Dur,
+}
+
+impl Scenario {
+    /// Defaults: desktop client, 10 rounds, 0-RTT warm, 10-minute budget.
+    pub fn new(net: NetProfile, page: PageSpec) -> Self {
+        Scenario {
+            net,
+            device: DeviceProfile::DESKTOP,
+            page,
+            rounds: 10,
+            base_seed: 1,
+            zero_rtt: true,
+            deadline: Dur::from_secs(600),
+        }
+    }
+
+    /// Builder: device model.
+    pub fn on_device(mut self, device: DeviceProfile) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Builder: rounds.
+    pub fn with_rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Builder: base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Builder: disable 0-RTT (cold cache).
+    pub fn cold(mut self) -> Self {
+        self.zero_rtt = false;
+        self
+    }
+}
+
+/// Everything one run produces.
+pub struct RunRecord {
+    /// Page load time; `None` if the deadline expired first.
+    pub plt: Option<Dur>,
+    /// Client connection counters.
+    pub client_stats: ConnStats,
+    /// Server connection counters (the instrumented side in the paper).
+    pub server_stats: Option<ConnStats>,
+    /// Server-side congestion-control state trace.
+    pub server_trace: Option<StateTrace>,
+    /// Server congestion window timeline.
+    pub server_cwnd: Vec<(Time, u64)>,
+    /// When the run's world clock stopped.
+    pub ended_at: Time,
+}
+
+/// Load `sc.page` once over `proto` with per-round seed `round`.
+pub fn run_page_load(proto: &ProtoConfig, sc: &Scenario, round: u64) -> RunRecord {
+    let seed = sc.base_seed.wrapping_mul(1_000_003).wrapping_add(round);
+    let net = per_round_net(sc, round);
+    let mut tb = Testbed::direct(
+        seed,
+        &net,
+        sc.device,
+        sc.page.clone(),
+        vec![FlowSpec {
+            proto: proto.clone(),
+            zero_rtt: sc.zero_rtt,
+            app: Box::new(WebClient::new(sc.page.clone())),
+        }],
+        None,
+        true,
+    );
+    tb.run(sc.deadline);
+    collect(&tb, sc)
+}
+
+/// Per-round network realization: the base RTT varies by ±3% from round
+/// to round, modelling the path-latency noise any physical testbed has.
+/// Without this, the deterministic simulator would report sub-percent
+/// differences as maximally significant, which no real measurement could.
+fn per_round_net(sc: &Scenario, round: u64) -> NetProfile {
+    let mut net = sc.net.clone();
+    let u = longlook_sim::rng::hash_unit(sc.base_seed ^ 0xA11CE, round);
+    net.rtt = net.rtt.mul_f64(0.97 + 0.06 * u);
+    net
+}
+
+fn collect(tb: &Testbed, _sc: &Scenario) -> RunRecord {
+    let now = tb.world.now();
+    let host = tb.client_host();
+    let app = host.app::<WebClient>(0);
+    let flow = tb.flows[0];
+    let server = tb.server_host();
+    RunRecord {
+        plt: app.plt(),
+        client_stats: host.conn_stats(0),
+        server_stats: server.conn_stats(flow),
+        server_trace: server.state_trace(flow, now),
+        server_cwnd: server
+            .cwnd_timeline(flow)
+            .map(<[(Time, u64)]>::to_vec)
+            .unwrap_or_default(),
+        ended_at: now,
+    }
+}
+
+/// Load the page through a midpoint proxy.
+pub fn run_page_load_proxied(
+    down: &ProtoConfig,
+    up: &ProtoConfig,
+    sc: &Scenario,
+    round: u64,
+) -> Option<Dur> {
+    let seed = sc.base_seed.wrapping_mul(1_000_003).wrapping_add(round);
+    let mut tb = ProxyTestbed::midpoint(
+        seed,
+        &sc.net,
+        sc.device,
+        sc.page.clone(),
+        down.clone(),
+        up.clone(),
+        sc.zero_rtt,
+        Box::new(WebClient::new(sc.page.clone())),
+    );
+    tb.run(sc.deadline);
+    tb.client_host().app::<WebClient>(0).plt()
+}
+
+/// PLT samples in milliseconds over all rounds (deadline misses are
+/// recorded at the deadline — a conservative penalty).
+pub fn plt_samples(proto: &ProtoConfig, sc: &Scenario) -> Vec<f64> {
+    (0..sc.rounds)
+        .map(|k| {
+            run_page_load(proto, sc, k)
+                .plt
+                .unwrap_or(sc.deadline)
+                .as_millis_f64()
+        })
+        .collect()
+}
+
+/// Full records over all rounds.
+pub fn run_records(proto: &ProtoConfig, sc: &Scenario) -> Vec<RunRecord> {
+    (0..sc.rounds).map(|k| run_page_load(proto, sc, k)).collect()
+}
+
+/// A finished QUIC-vs-TCP comparison for one scenario.
+pub struct PairResult {
+    /// The statistical comparison (positive percent = QUIC faster).
+    pub comparison: Comparison,
+    /// QUIC PLT samples (ms).
+    pub quic_ms: Vec<f64>,
+    /// TCP PLT samples (ms).
+    pub tcp_ms: Vec<f64>,
+}
+
+/// Run both protocols back-to-back and compare PLTs.
+pub fn compare_pair(quic: &ProtoConfig, tcp: &ProtoConfig, sc: &Scenario) -> PairResult {
+    let quic_ms = plt_samples(quic, sc);
+    let tcp_ms = plt_samples(tcp, sc);
+    PairResult {
+        comparison: Comparison::lower_is_better(&quic_ms, &tcp_ms),
+        quic_ms,
+        tcp_ms,
+    }
+}
+
+/// Sweep a full heatmap: rows x columns of scenarios, one Welch-gated
+/// cell each. `make_scenario(row, col)` builds the scenario.
+pub fn sweep_heatmap(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    quic: &ProtoConfig,
+    tcp: &ProtoConfig,
+    mut make_scenario: impl FnMut(usize, usize) -> Scenario,
+) -> Heatmap {
+    let mut map = Heatmap::new(title, row_labels.to_vec(), col_labels.to_vec());
+    for r in 0..row_labels.len() {
+        for c in 0..col_labels.len() {
+            let sc = make_scenario(r, c);
+            let pair = compare_pair(quic, tcp, &sc);
+            map.set(r, c, HeatmapCell::from_comparison(&pair.comparison));
+        }
+    }
+    map
+}
+
+/// Generic sweep comparing any two PLT-producing closures (used for
+/// QUIC-vs-QUIC ablations like Fig 7's 0-RTT on/off and the proxy
+/// figures). `run(candidate?, row, col, round)` returns a PLT in ms.
+pub fn sweep_heatmap_with(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    rounds: u64,
+    mut run: impl FnMut(bool, usize, usize, u64) -> f64,
+) -> Heatmap {
+    let mut map = Heatmap::new(title, row_labels.to_vec(), col_labels.to_vec());
+    for r in 0..row_labels.len() {
+        for c in 0..col_labels.len() {
+            let cand: Vec<f64> = (0..rounds).map(|k| run(true, r, c, k)).collect();
+            let base: Vec<f64> = (0..rounds).map(|k| run(false, r, c, k)).collect();
+            let cmp = Comparison::lower_is_better(&cand, &base);
+            map.set(r, c, HeatmapCell::from_comparison(&cmp));
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longlook_quic::QuicConfig;
+    use longlook_stats::Verdict;
+    use longlook_tcp::TcpConfig;
+
+    fn quic() -> ProtoConfig {
+        ProtoConfig::Quic(QuicConfig::default())
+    }
+
+    fn tcp() -> ProtoConfig {
+        ProtoConfig::Tcp(TcpConfig::default())
+    }
+
+    #[test]
+    fn single_run_produces_full_record() {
+        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
+            .with_rounds(1);
+        let rec = run_page_load(&quic(), &sc, 0);
+        assert!(rec.plt.is_some());
+        assert!(rec.client_stats.packets_sent > 0);
+        let srv = rec.server_stats.expect("server connection existed");
+        assert!(srv.packets_sent > 0);
+        let trace = rec.server_trace.expect("trace");
+        assert!(!trace.visits.is_empty());
+        assert!(!rec.server_cwnd.is_empty());
+    }
+
+    #[test]
+    fn paired_comparison_small_object_quic_wins() {
+        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(10 * 1024))
+            .with_rounds(5);
+        let pair = compare_pair(&quic(), &tcp(), &sc);
+        assert_eq!(pair.comparison.verdict, Verdict::CandidateWins);
+        assert!(pair.comparison.percent > 20.0, "{}", pair.comparison.percent);
+    }
+
+    #[test]
+    fn sweep_builds_shaped_heatmap() {
+        let rows = vec!["10Mbps".to_string()];
+        let cols = vec!["10KB".to_string(), "100KB".to_string()];
+        let sizes = [10 * 1024, 100 * 1024];
+        let map = sweep_heatmap(
+            "mini",
+            &rows,
+            &cols,
+            &quic(),
+            &tcp(),
+            |_r, c| {
+                Scenario::new(NetProfile::baseline(10.0), PageSpec::single(sizes[c]))
+                    .with_rounds(4)
+            },
+        );
+        assert_eq!(map.cells.len(), 1);
+        assert_eq!(map.cells[0].len(), 2);
+        let (red, _, _) = map.verdict_counts();
+        assert!(red >= 1, "QUIC should win at least one cell");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
+            .with_rounds(2);
+        assert_eq!(plt_samples(&quic(), &sc), plt_samples(&quic(), &sc));
+    }
+}

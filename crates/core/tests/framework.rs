@@ -1,0 +1,143 @@
+//! Framework-level tests: determinism, seed sensitivity, and the
+//! testbed's structural guarantees.
+
+use longlook_core::prelude::*;
+
+fn quic() -> ProtoConfig {
+    ProtoConfig::Quic(QuicConfig::default())
+}
+
+fn tcp() -> ProtoConfig {
+    ProtoConfig::Tcp(TcpConfig::default())
+}
+
+#[test]
+fn identical_seeds_replay_identically_across_protocols() {
+    for proto in [quic(), tcp()] {
+        let sc = Scenario::new(
+            NetProfile::baseline(10.0).with_loss(0.01),
+            PageSpec::uniform(3, 100 * 1024),
+        )
+        .with_rounds(3)
+        .with_seed(77);
+        let a = plt_samples(&proto, &sc);
+        let b = plt_samples(&proto, &sc);
+        assert_eq!(a, b, "{} replay mismatch", proto.name());
+    }
+}
+
+#[test]
+fn different_base_seeds_differ_under_loss() {
+    let sc1 = Scenario::new(
+        NetProfile::baseline(10.0).with_loss(0.02),
+        PageSpec::single(1024 * 1024),
+    )
+    .with_rounds(2)
+    .with_seed(1);
+    let sc2 = sc1.clone().with_seed(2);
+    assert_ne!(plt_samples(&quic(), &sc1), plt_samples(&quic(), &sc2));
+}
+
+#[test]
+fn rounds_vary_within_one_scenario() {
+    // Per-round RTT noise means even a clean path's rounds differ.
+    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024))
+        .with_rounds(4);
+    let samples = plt_samples(&quic(), &sc);
+    let all_same = samples.windows(2).all(|w| w[0] == w[1]);
+    assert!(!all_same, "rounds should not be identical: {samples:?}");
+}
+
+#[test]
+fn cold_scenario_disables_zero_rtt() {
+    let warm = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(5 * 1024))
+        .with_rounds(3);
+    let cold = warm.clone().cold();
+    let w = Summary::of(&plt_samples(&quic(), &warm));
+    let c = Summary::of(&plt_samples(&quic(), &cold));
+    assert!(
+        c.mean() > w.mean() + 20.0,
+        "cold start must pay ~1 RTT more: {} vs {}",
+        c.mean(),
+        w.mean()
+    );
+}
+
+#[test]
+fn run_record_exposes_server_side_instrumentation() {
+    let sc = Scenario::new(
+        NetProfile::baseline(50.0).with_loss(0.01),
+        PageSpec::single(2 * 1024 * 1024),
+    )
+    .with_rounds(1);
+    let rec = run_page_load(&quic(), &sc, 0);
+    let trace = rec.server_trace.expect("trace");
+    // The instrumented server must have visited the loss-recovery states.
+    let labels = trace.labels();
+    assert!(labels.contains(&"Recovery") || labels.contains(&"RetransmissionTimeout"));
+    assert!(rec.server_cwnd.len() > 5, "cwnd timeline populated");
+    let st = rec.server_stats.expect("stats");
+    assert!(st.losses_detected > 0 || st.rto_count > 0);
+}
+
+#[test]
+fn versions_share_results_below_37() {
+    let page = PageSpec::single(1024 * 1024);
+    let sc = Scenario::new(NetProfile::baseline(10.0), page).with_rounds(2);
+    let base = plt_samples(&ProtoConfig::Quic(QuicVersion::V25.config()), &sc);
+    for v in [QuicVersion::V29, QuicVersion::V34, QuicVersion::V36] {
+        let s = plt_samples(&ProtoConfig::Quic(v.config()), &sc);
+        assert_eq!(s, base, "{v:?} must match V25 given identical config");
+    }
+}
+
+#[test]
+fn proxied_run_matches_direct_topology_semantics() {
+    // A QUIC-through-proxy load completes and takes at least as long as a
+    // direct one with warm 0-RTT (the proxy cannot use 0-RTT upstream).
+    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
+        .with_rounds(1);
+    let direct = run_page_load(&quic(), &sc, 0).plt.expect("direct");
+    let proxied = run_page_load_proxied(&quic(), &quic(), &sc, 0).expect("proxied");
+    assert!(
+        proxied.as_millis_f64() > direct.as_millis_f64(),
+        "proxy adds handshake latency for small objects: {proxied} <= {direct}"
+    );
+}
+
+#[test]
+fn server_profiles_order_as_figure2() {
+    let cal = fig2_measure(ServerProfile::Calibrated, 3, 5);
+    let gae = fig2_measure(ServerProfile::GaeLike, 3, 5);
+    let def = fig2_measure(ServerProfile::PublicDefault, 3, 5);
+    let total = |s: &longlook_core::calibration::WaitDownloadSplit| {
+        s.wait_ms.mean() + s.download_ms.mean()
+    };
+    assert!(total(&cal) < total(&def), "calibrated beats the public default");
+    assert!(gae.wait_ms.mean() > 100.0, "GAE's variable wait is visible");
+}
+
+#[test]
+fn heatmap_sweep_is_deterministic() {
+    let rows = vec!["10Mbps".to_string()];
+    let cols = vec!["50KB".to_string()];
+    let build = || {
+        sweep_heatmap("det", &rows, &cols, &quic(), &tcp(), |_r, _c| {
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
+                .with_rounds(3)
+        })
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.get(0, 0).percent, b.get(0, 0).percent);
+}
+
+#[test]
+fn cellular_profiles_run_end_to_end() {
+    for p in CELL_PROFILES {
+        let sc = Scenario::new(p.net_profile_for_run(9), PageSpec::single(50 * 1024))
+            .with_rounds(1);
+        let rec = run_page_load(&quic(), &sc, 0);
+        assert!(rec.plt.is_some(), "{} load incomplete", p.name);
+    }
+}

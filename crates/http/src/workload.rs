@@ -1,0 +1,114 @@
+//! Web-page workloads: the paper's static pages of N objects x S bytes.
+//!
+//! "Our choice of simple pages ensures that page load time measurements
+//! reflect only the efficiency of the transport protocol" (Sec 3.3) — and
+//! crucially lets the paper isolate *number* of objects from *size* of
+//! objects, which prior work conflated.
+
+use serde::{Deserialize, Serialize};
+
+/// Base request size in bytes; an object's index is encoded as extra
+/// request bytes (`REQUEST_BASE + index`), which is how the synthetic
+/// request tells the server which catalog entry to serve.
+pub const REQUEST_BASE: u64 = 200;
+
+/// Response header bytes prepended to every object.
+pub const RESPONSE_HEADER: u64 = 100;
+
+/// A static web page: an ordered catalog of object sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageSpec {
+    /// Object sizes in bytes.
+    pub objects: Vec<u64>,
+}
+
+impl PageSpec {
+    /// `n` objects of `size` bytes each.
+    pub fn uniform(n: usize, size: u64) -> Self {
+        PageSpec {
+            objects: vec![size; n],
+        }
+    }
+
+    /// A single object.
+    pub fn single(size: u64) -> Self {
+        Self::uniform(1, size)
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.iter().sum()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the page is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Request length that encodes object `index`.
+    pub fn request_len(index: usize) -> u64 {
+        REQUEST_BASE + index as u64
+    }
+
+    /// Decode an object index from a completed request's byte count;
+    /// `None` if the request is malformed (shorter than the base).
+    pub fn decode_request(request_bytes: u64) -> Option<usize> {
+        request_bytes.checked_sub(REQUEST_BASE).map(|i| i as usize)
+    }
+}
+
+/// Table 2 of the paper: the object-size and object-count axes.
+pub mod table2 {
+    /// Object sizes tested (bytes): 5KB ... 10MB.
+    pub const OBJECT_SIZES: [u64; 7] = [
+        5 * 1024,
+        10 * 1024,
+        100 * 1024,
+        200 * 1024,
+        500 * 1024,
+        1024 * 1024,
+        10 * 1024 * 1024,
+    ];
+    /// Object counts tested.
+    pub const OBJECT_COUNTS: [usize; 6] = [1, 2, 5, 10, 100, 200];
+    /// Rate limits tested (Mbps).
+    pub const RATES_MBPS: [f64; 4] = [5.0, 10.0, 50.0, 100.0];
+    /// Extra one-way delays tested (ms of added RTT).
+    pub const EXTRA_RTTS_MS: [u64; 3] = [0, 50, 100];
+    /// Random loss rates tested.
+    pub const LOSS_RATES: [f64; 2] = [0.001, 0.01];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_pages() {
+        let p = PageSpec::uniform(10, 10 * 1024);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.total_bytes(), 100 * 1024);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn request_encoding_roundtrip() {
+        for i in [0usize, 1, 5, 199] {
+            let len = PageSpec::request_len(i);
+            assert_eq!(PageSpec::decode_request(len), Some(i));
+        }
+        assert_eq!(PageSpec::decode_request(REQUEST_BASE - 1), None);
+    }
+
+    #[test]
+    fn table2_axes_match_paper() {
+        assert_eq!(table2::OBJECT_SIZES.len(), 7);
+        assert_eq!(table2::OBJECT_COUNTS, [1, 2, 5, 10, 100, 200]);
+        assert_eq!(table2::RATES_MBPS, [5.0, 10.0, 50.0, 100.0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! QUIC connection configuration.
+//!
+//! Every knob the paper varies is a field here: the NACK threshold
+//! (Fig 10), MACW via the Cubic config (Figs 2, 15), MSPC (Sec 5.2),
+//! 0-RTT (Fig 7), pacing, HyStart, and the choice of congestion
+//! controller (Fig 3b). `longlook-core`'s version model maps QUIC versions
+//! 25-37 onto instances of this struct.
+
+use longlook_sim::time::Dur;
+use longlook_transport::cubic::CubicConfig;
+
+/// Which congestion controller to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcKind {
+    /// Cubic (the deployed default the paper measures).
+    Cubic,
+    /// Experimental BBR (Fig 3b).
+    Bbr,
+}
+
+/// QUIC connection configuration.
+#[derive(Debug, Clone)]
+pub struct QuicConfig {
+    /// Sender maximum segment size (stream payload budget per packet).
+    pub mss: u64,
+    /// Congestion controller selection.
+    pub cc: CcKind,
+    /// Cubic parameters (MACW, N-connection emulation, HyStart, ...).
+    pub cubic: CubicConfig,
+    /// Consecutive-NACK threshold for fast retransmit (gQUIC default 3).
+    /// The fixed threshold is why QUIC misreads deep reordering as loss
+    /// (Sec 5.2, Fig 10).
+    pub nack_threshold: u32,
+    /// Adapt the NACK threshold upward when a retransmission is proven
+    /// spurious (the DSACK-like behavior the paper recommends QUIC adopt).
+    pub adaptive_nack: bool,
+    /// Also declare loss by time: packets older than 1.25 * sRTT below the
+    /// largest acked ("time based" loss detection QUIC was experimenting
+    /// with per the paper).
+    pub time_loss_detection: bool,
+    /// Enable tail loss probes.
+    pub tlp: bool,
+    /// Enable packet pacing.
+    pub pacing: bool,
+    /// Maximum concurrent streams per connection (MSPC, default 100).
+    pub max_streams: u32,
+    /// Initial connection-level receive window (bytes). gQUIC auto-tunes
+    /// this upward (doubling) while the receiver consumes fast enough.
+    pub conn_recv_window: u64,
+    /// Initial per-stream receive window (bytes).
+    pub stream_recv_window: u64,
+    /// Auto-tune ceiling for the connection window.
+    pub conn_recv_window_max: u64,
+    /// Auto-tune ceiling for stream windows.
+    pub stream_recv_window_max: u64,
+    /// Enable receive-window auto-tuning (double the window whenever two
+    /// consecutive window updates are less than 2 x sRTT apart). This is
+    /// the mechanism behind the paper's mobile finding: a phone that
+    /// cannot consume packets in userspace never grows its windows, so
+    /// the sender ends up Application-Limited (Fig 13).
+    pub flow_auto_tune: bool,
+    /// Send an ack after this many unacked data packets.
+    pub ack_every: u32,
+    /// Delayed-ack timer.
+    pub delayed_ack: Dur,
+    /// RTT assumed before the first sample.
+    pub initial_rtt: Dur,
+    /// Whether the client may attempt 0-RTT when it has cached state.
+    pub zero_rtt_enabled: bool,
+}
+
+impl Default for QuicConfig {
+    /// QUIC 34 as calibrated by the paper against Google's servers:
+    /// MACW = 430, N = 2, NACK threshold 3, MSPC 100, 0-RTT on.
+    fn default() -> Self {
+        let mss = 1350;
+        QuicConfig {
+            mss,
+            cc: CcKind::Cubic,
+            cubic: CubicConfig::quic34(mss),
+            nack_threshold: 3,
+            adaptive_nack: false,
+            time_loss_detection: false,
+            tlp: true,
+            pacing: true,
+            max_streams: 100,
+            // gQUIC-era initial flow-control windows; auto-tuning grows
+            // them toward the ceilings on fast consumers.
+            conn_recv_window: 192 * 1024,
+            stream_recv_window: 128 * 1024,
+            conn_recv_window_max: 15 * 1024 * 1024,
+            stream_recv_window_max: 6 * 1024 * 1024,
+            flow_auto_tune: true,
+            ack_every: 2,
+            delayed_ack: Dur::from_millis(25),
+            initial_rtt: Dur::from_millis(100),
+            zero_rtt_enabled: true,
+        }
+    }
+}
+
+impl QuicConfig {
+    /// The miscalibrated public-release configuration of Fig 2: small
+    /// MACW (107), a conservative initial window, and the Chromium 52
+    /// ssthresh bug (the slow-start threshold never raised to the
+    /// receiver-advertised buffer, forcing an early slow-start exit).
+    pub fn uncalibrated() -> Self {
+        let mut cfg = QuicConfig::default();
+        cfg.cubic.max_cwnd_packets = Some(107);
+        cfg.cubic.initial_cwnd_packets = 10;
+        cfg.cubic.initial_ssthresh_packets = Some(20);
+        cfg
+    }
+
+    /// QUIC 37 as shipped in Chromium 60: MACW = 2000, N = 1.
+    pub fn quic37() -> Self {
+        let mut cfg = QuicConfig::default();
+        cfg.cubic.max_cwnd_packets = Some(2000);
+        cfg.cubic.num_connections = 1;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_calibrated_quic34() {
+        let c = QuicConfig::default();
+        assert_eq!(c.cubic.max_cwnd_packets, Some(430));
+        assert_eq!(c.cubic.num_connections, 2);
+        assert_eq!(c.nack_threshold, 3);
+        assert_eq!(c.max_streams, 100);
+        assert!(c.zero_rtt_enabled);
+        assert!(c.pacing);
+    }
+
+    #[test]
+    fn uncalibrated_reproduces_the_bug() {
+        let c = QuicConfig::uncalibrated();
+        assert_eq!(c.cubic.max_cwnd_packets, Some(107));
+        assert!(c.cubic.initial_ssthresh_packets.is_some());
+    }
+
+    #[test]
+    fn quic37_raises_macw_and_drops_emulation() {
+        let c = QuicConfig::quic37();
+        assert_eq!(c.cubic.max_cwnd_packets, Some(2000));
+        assert_eq!(c.cubic.num_connections, 1);
+    }
+}

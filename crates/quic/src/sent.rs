@@ -1,0 +1,404 @@
+//! Sender-side packet tracking and loss detection.
+//!
+//! This is where QUIC's defining sender behaviors live:
+//!
+//! * **No retransmission ambiguity** — packet numbers are monotonic, every
+//!   ack maps to exactly one transmission, so every ack can produce an RTT
+//!   sample (TCP's Karn restriction does not apply);
+//! * **NACK-threshold fast retransmit** — a packet is declared lost after
+//!   being "nacked" by `nack_threshold` acks covering later packets
+//!   (default 3). The paper shows this fixed threshold misclassifies
+//!   reordered packets as lost (Sec 5.2, Fig 10);
+//! * **spurious-retransmission detection** — an ack arriving for a packet
+//!   already declared lost proves the retransmission spurious, feeding
+//!   both statistics and the optional adaptive threshold.
+
+use crate::streams::Chunk;
+use crate::wire::{AckBlock, HandshakeKind};
+use longlook_sim::time::{Dur, Time};
+use std::collections::BTreeMap;
+
+/// Bookkeeping for one transmitted packet.
+#[derive(Debug, Clone)]
+pub struct SentPacket {
+    /// Packet number.
+    pub pn: u64,
+    /// Transmission time.
+    pub sent_at: Time,
+    /// Full wire size (for in-flight accounting).
+    pub wire_bytes: u32,
+    /// Stream chunks carried (requeued on loss).
+    pub chunks: Vec<Chunk>,
+    /// Handshake message carried (retransmitted on loss).
+    pub handshake: Option<HandshakeKind>,
+    /// Streams whose window updates rode in this packet (0 = connection);
+    /// on loss the *current* windows are re-announced.
+    pub wu_streams: Vec<u32>,
+    /// Whether the packet counts toward bytes in flight and needs acking.
+    pub retransmittable: bool,
+    /// Times this packet has been nacked.
+    pub nacks: u32,
+}
+
+/// What an incoming ack frame did.
+#[derive(Debug, Default)]
+pub struct AckOutcome {
+    /// Retransmittable wire bytes newly acknowledged.
+    pub newly_acked_bytes: u64,
+    /// Stream payload bytes newly acknowledged.
+    pub acked_payload_bytes: u64,
+    /// Send time of the newest packet this ack covers (for CC epochs).
+    pub newest_acked_sent_at: Option<Time>,
+    /// RTT measurement from the largest acked packet, if it was newly
+    /// acked by this frame.
+    pub rtt_sample: Option<Dur>,
+    /// Packets declared lost by this ack (NACK threshold / time).
+    pub lost: Vec<SentPacket>,
+    /// Previously-declared-lost packets now proven delivered.
+    pub spurious: u32,
+    /// Whether any new data was acked (resets TLP/RTO backoff).
+    pub acked_new_data: bool,
+}
+
+/// Sender-side tracker.
+#[derive(Debug, Default)]
+pub struct SentTracker {
+    packets: BTreeMap<u64, SentPacket>,
+    bytes_in_flight: u64,
+    largest_acked: Option<u64>,
+    /// Packets declared lost, retained briefly to detect spuriousness.
+    lost_log: BTreeMap<u64, Time>,
+}
+
+impl SentTracker {
+    /// Record a transmission.
+    pub fn on_sent(&mut self, pkt: SentPacket) {
+        if pkt.retransmittable {
+            self.bytes_in_flight += pkt.wire_bytes as u64;
+        }
+        let prev = self.packets.insert(pkt.pn, pkt);
+        debug_assert!(prev.is_none(), "packet number reused");
+    }
+
+    /// Retransmittable bytes currently outstanding.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.bytes_in_flight
+    }
+
+    /// Whether any retransmittable packet is outstanding.
+    pub fn has_retransmittable(&self) -> bool {
+        self.bytes_in_flight > 0
+    }
+
+    /// Largest acked packet number.
+    pub fn largest_acked(&self) -> Option<u64> {
+        self.largest_acked
+    }
+
+    /// Clone of the newest outstanding retransmittable packet (for TLP).
+    pub fn newest_retransmittable(&self) -> Option<&SentPacket> {
+        self.packets.values().rev().find(|p| p.retransmittable)
+    }
+
+    /// Declare up to `n` oldest retransmittable packets lost (for RTO);
+    /// returns them with in-flight accounting updated and spurious
+    /// tracking armed.
+    pub fn declare_oldest_lost(&mut self, n: usize) -> Vec<SentPacket> {
+        let pns: Vec<u64> = self
+            .packets
+            .values()
+            .filter(|p| p.retransmittable)
+            .take(n)
+            .map(|p| p.pn)
+            .collect();
+        let mut out = Vec::with_capacity(pns.len());
+        for pn in pns {
+            if let Some(pkt) = self.remove_in_flight(pn) {
+                self.lost_log.insert(pkt.pn, pkt.sent_at);
+                out.push(pkt);
+            }
+        }
+        out
+    }
+
+    fn remove_in_flight(&mut self, pn: u64) -> Option<SentPacket> {
+        let pkt = self.packets.remove(&pn)?;
+        if pkt.retransmittable {
+            self.bytes_in_flight -= pkt.wire_bytes as u64;
+        }
+        Some(pkt)
+    }
+
+    /// Process an ack frame. `time_threshold` (if set) additionally marks
+    /// packets lost once they are older than that relative to `now` and
+    /// below the largest acked pn.
+    pub fn on_ack_frame(
+        &mut self,
+        now: Time,
+        largest: u64,
+        ack_delay: Dur,
+        blocks: &[AckBlock],
+        nack_threshold: u32,
+        time_threshold: Option<Dur>,
+    ) -> AckOutcome {
+        let _ = ack_delay; // rtt adjustment is done by the caller's estimator
+        let mut out = AckOutcome::default();
+
+        // Collect newly acked pns present in our map.
+        let mut acked: Vec<u64> = Vec::new();
+        for &(start, end) in blocks {
+            let in_range: Vec<u64> =
+                self.packets.range(start..=end).map(|(&pn, _)| pn).collect();
+            acked.extend(in_range);
+        }
+        acked.sort_unstable();
+
+        for pn in acked {
+            let pkt = self.remove_in_flight(pn).expect("collected above");
+            if pkt.retransmittable {
+                out.newly_acked_bytes += pkt.wire_bytes as u64;
+                out.acked_payload_bytes +=
+                    pkt.chunks.iter().map(|c| c.len as u64).sum::<u64>();
+                out.acked_new_data = true;
+            }
+            out.newest_acked_sent_at = Some(match out.newest_acked_sent_at {
+                Some(t) if t > pkt.sent_at => t,
+                _ => pkt.sent_at,
+            });
+            if pn == largest {
+                out.rtt_sample = Some(now.saturating_since(pkt.sent_at));
+            }
+        }
+
+        // Spurious detection: acked pns we had declared lost.
+        for &(start, end) in blocks {
+            let hits: Vec<u64> = self
+                .lost_log
+                .range(start..=end)
+                .map(|(&pn, _)| pn)
+                .collect();
+            for pn in hits {
+                self.lost_log.remove(&pn);
+                out.spurious += 1;
+            }
+        }
+
+        self.largest_acked = Some(self.largest_acked.map_or(largest, |l| l.max(largest)));
+        let horizon = self.largest_acked.expect("just set");
+
+        // NACK counting: every unacked packet below the largest acked gets
+        // one nack per ack frame processed.
+        let mut lost_pns: Vec<u64> = Vec::new();
+        for (&pn, pkt) in self.packets.range_mut(..horizon) {
+            if !pkt.retransmittable {
+                continue;
+            }
+            pkt.nacks += 1;
+            let nack_lost = pkt.nacks >= nack_threshold;
+            let time_lost = time_threshold
+                .is_some_and(|th| now.saturating_since(pkt.sent_at) > th);
+            if nack_lost || time_lost {
+                lost_pns.push(pn);
+            }
+        }
+        for pn in lost_pns {
+            let pkt = self.remove_in_flight(pn).expect("present");
+            self.lost_log.insert(pkt.pn, pkt.sent_at);
+            out.lost.push(pkt);
+        }
+
+        self.prune_lost_log();
+        out
+    }
+
+    fn prune_lost_log(&mut self) {
+        if let Some(horizon) = self.largest_acked {
+            let cutoff = horizon.saturating_sub(10_000);
+            self.lost_log = self.lost_log.split_off(&cutoff);
+        }
+    }
+
+    /// Outstanding packet count (diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.packets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+
+    fn data_pkt(pn: u64, ms: u64) -> SentPacket {
+        SentPacket {
+            pn,
+            sent_at: t(ms),
+            wire_bytes: 1400,
+            chunks: vec![Chunk {
+                id: 1,
+                offset: pn * 1350,
+                len: 1350,
+                fin: false,
+            }],
+            handshake: None,
+            wu_streams: Vec::new(),
+            retransmittable: true,
+            nacks: 0,
+        }
+    }
+
+    fn ack_pkt(pn: u64, ms: u64) -> SentPacket {
+        SentPacket {
+            pn,
+            sent_at: t(ms),
+            wire_bytes: 80,
+            chunks: vec![],
+            handshake: None,
+            wu_streams: Vec::new(),
+            retransmittable: false,
+            nacks: 0,
+        }
+    }
+
+    #[test]
+    fn in_flight_accounting() {
+        let mut s = SentTracker::default();
+        s.on_sent(data_pkt(0, 0));
+        s.on_sent(data_pkt(1, 1));
+        s.on_sent(ack_pkt(2, 2));
+        assert_eq!(s.bytes_in_flight(), 2800);
+        let out = s.on_ack_frame(t(40), 1, Dur::ZERO, &[(0, 1)], 3, None);
+        assert_eq!(out.newly_acked_bytes, 2800);
+        assert_eq!(s.bytes_in_flight(), 0);
+        assert!(out.acked_new_data);
+        assert_eq!(out.acked_payload_bytes, 2700);
+    }
+
+    #[test]
+    fn rtt_sample_from_largest() {
+        let mut s = SentTracker::default();
+        s.on_sent(data_pkt(0, 0));
+        s.on_sent(data_pkt(1, 10));
+        let out = s.on_ack_frame(t(50), 1, Dur::ZERO, &[(0, 1)], 3, None);
+        assert_eq!(out.rtt_sample, Some(Dur::from_millis(40)));
+        assert_eq!(out.newest_acked_sent_at, Some(t(10)));
+    }
+
+    #[test]
+    fn no_rtt_sample_when_largest_already_acked() {
+        let mut s = SentTracker::default();
+        s.on_sent(data_pkt(0, 0));
+        s.on_sent(data_pkt(1, 1));
+        s.on_ack_frame(t(40), 1, Dur::ZERO, &[(1, 1)], 3, None);
+        // Second ack repeats largest=1 but only newly covers pn 0.
+        let out = s.on_ack_frame(t(45), 1, Dur::ZERO, &[(0, 1)], 3, None);
+        assert_eq!(out.rtt_sample, None);
+        assert_eq!(out.newly_acked_bytes, 1400);
+    }
+
+    #[test]
+    fn nack_threshold_declares_loss() {
+        let mut s = SentTracker::default();
+        for pn in 0..5 {
+            s.on_sent(data_pkt(pn, pn));
+        }
+        // pn 0 missing; acks covering later packets nack it.
+        let o1 = s.on_ack_frame(t(40), 1, Dur::ZERO, &[(1, 1)], 3, None);
+        assert!(o1.lost.is_empty());
+        let o2 = s.on_ack_frame(t(41), 2, Dur::ZERO, &[(1, 2)], 3, None);
+        assert!(o2.lost.is_empty());
+        let o3 = s.on_ack_frame(t(42), 3, Dur::ZERO, &[(1, 3)], 3, None);
+        assert_eq!(o3.lost.len(), 1);
+        assert_eq!(o3.lost[0].pn, 0);
+        // Its bytes left the pipe.
+        assert_eq!(s.bytes_in_flight(), 1400, "only pn 4 remains");
+    }
+
+    #[test]
+    fn higher_threshold_tolerates_deeper_reordering() {
+        let mut s = SentTracker::default();
+        for pn in 0..12 {
+            s.on_sent(data_pkt(pn, pn));
+        }
+        // 5 acks skip pn 0.
+        for k in 1..=5u64 {
+            let out = s.on_ack_frame(t(40 + k), k, Dur::ZERO, &[(1, k)], 10, None);
+            assert!(out.lost.is_empty(), "threshold 10 not yet reached");
+        }
+    }
+
+    #[test]
+    fn spurious_detected_when_lost_packet_is_acked() {
+        let mut s = SentTracker::default();
+        for pn in 0..5 {
+            s.on_sent(data_pkt(pn, pn));
+        }
+        for k in 1..=3u64 {
+            s.on_ack_frame(t(40 + k), k, Dur::ZERO, &[(1, k)], 3, None);
+        }
+        // pn 0 was declared lost; now the "reordered" original arrives.
+        let out = s.on_ack_frame(t(45), 4, Dur::ZERO, &[(0, 4)], 3, None);
+        assert_eq!(out.spurious, 1);
+    }
+
+    #[test]
+    fn time_based_loss() {
+        let mut s = SentTracker::default();
+        s.on_sent(data_pkt(0, 0));
+        s.on_sent(data_pkt(1, 100));
+        // One ack above pn 0, far in the future: time threshold trips even
+        // though only one nack accumulated.
+        let out = s.on_ack_frame(
+            t(500),
+            1,
+            Dur::ZERO,
+            &[(1, 1)],
+            100,
+            Some(Dur::from_millis(200)),
+        );
+        assert_eq!(out.lost.len(), 1);
+        assert_eq!(out.lost[0].pn, 0);
+    }
+
+    #[test]
+    fn rto_declares_oldest_lost() {
+        let mut s = SentTracker::default();
+        for pn in 0..4 {
+            s.on_sent(data_pkt(pn, pn));
+        }
+        let lost = s.declare_oldest_lost(2);
+        assert_eq!(lost.len(), 2);
+        assert_eq!(lost[0].pn, 0);
+        assert_eq!(lost[1].pn, 1);
+        assert_eq!(s.bytes_in_flight(), 2800);
+        // Acking one of them later counts as spurious.
+        let out = s.on_ack_frame(t(100), 3, Dur::ZERO, &[(0, 0), (3, 3)], 3, None);
+        assert_eq!(out.spurious, 1);
+    }
+
+    #[test]
+    fn newest_retransmittable_for_tlp() {
+        let mut s = SentTracker::default();
+        s.on_sent(data_pkt(0, 0));
+        s.on_sent(data_pkt(1, 1));
+        s.on_sent(ack_pkt(2, 2));
+        assert_eq!(s.newest_retransmittable().unwrap().pn, 1);
+    }
+
+    #[test]
+    fn acked_packets_stop_being_nacked() {
+        let mut s = SentTracker::default();
+        for pn in 0..3 {
+            s.on_sent(data_pkt(pn, pn));
+        }
+        s.on_ack_frame(t(40), 2, Dur::ZERO, &[(0, 0), (2, 2)], 3, None);
+        // pn 1 has 1 nack; ack it now, then no more loss machinery applies.
+        let out = s.on_ack_frame(t(41), 2, Dur::ZERO, &[(0, 2)], 3, None);
+        assert!(out.lost.is_empty());
+        assert_eq!(s.outstanding(), 0);
+        assert!(!s.has_retransmittable());
+    }
+}

@@ -1,0 +1,395 @@
+//! Stream state: send scheduling, receive reassembly, flow control.
+//!
+//! QUIC's independence between streams is what removes head-of-line
+//! blocking: each receive stream reassembles on its own, so a hole in
+//! stream A never delays delivery on stream B (contrast with the single
+//! ordered byte stream in `longlook-tcp`).
+
+use std::collections::BTreeMap;
+
+/// A chunk of stream data scheduled for (re)transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Stream id.
+    pub id: u32,
+    /// Byte offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+    /// FIN rides on this chunk.
+    pub fin: bool,
+}
+
+/// Sender side of one stream.
+#[derive(Debug)]
+pub struct SendStream {
+    id: u32,
+    /// Next fresh byte to transmit.
+    next_offset: u64,
+    /// Total bytes the application has queued.
+    queued: u64,
+    /// Whether the application finished the stream.
+    fin_queued: bool,
+    /// Whether the FIN has been transmitted at least once.
+    fin_sent: bool,
+    /// Peer flow-control limit: highest absolute offset we may send.
+    max_offset: u64,
+    /// Lost chunks awaiting retransmission (offset -> (len, fin)).
+    retransmit: BTreeMap<u64, (u32, bool)>,
+}
+
+impl SendStream {
+    /// Create a send stream with the peer's initial flow-control window.
+    pub fn with_window(id: u32, max_offset: u64) -> Self {
+        Self::new(id, max_offset)
+    }
+
+    /// Whether lost chunks are waiting for retransmission.
+    pub fn has_retransmit_pending(&self) -> bool {
+        !self.retransmit.is_empty()
+    }
+
+    /// Whether this stream would produce a chunk if asked (retransmission,
+    /// fresh data within flow control, or a pending FIN).
+    pub fn wants_to_send(&self) -> bool {
+        self.has_retransmit_pending() || self.sendable_new() > 0 || self.fin_pending()
+    }
+
+    fn new(id: u32, max_offset: u64) -> Self {
+        SendStream {
+            id,
+            next_offset: 0,
+            queued: 0,
+            fin_queued: false,
+            fin_sent: false,
+            max_offset,
+            retransmit: BTreeMap::new(),
+        }
+    }
+
+    /// Application queues more data.
+    pub fn write(&mut self, bytes: u64, fin: bool) {
+        debug_assert!(!self.fin_queued, "write after fin");
+        self.queued += bytes;
+        self.fin_queued |= fin;
+    }
+
+    /// Raise the peer's flow-control limit.
+    pub fn on_window_update(&mut self, max_offset: u64) {
+        self.max_offset = self.max_offset.max(max_offset);
+    }
+
+    /// Bytes of fresh data ready and allowed by stream flow control.
+    pub fn sendable_new(&self) -> u64 {
+        let unsent = self.queued.saturating_sub(self.next_offset);
+        let fc_room = self.max_offset.saturating_sub(self.next_offset);
+        unsent.min(fc_room)
+    }
+
+    /// Whether a bare FIN still needs to go out.
+    pub fn fin_pending(&self) -> bool {
+        self.fin_queued && !self.fin_sent && self.next_offset >= self.queued
+    }
+
+    /// Whether the stream is flow-control blocked (has data, no credit).
+    pub fn blocked(&self) -> bool {
+        self.queued > self.next_offset && self.next_offset >= self.max_offset
+    }
+
+    /// Produce the next chunk (retransmissions first), at most `budget`
+    /// bytes. Returns `None` when nothing is sendable.
+    pub fn next_chunk(&mut self, budget: u32) -> Option<Chunk> {
+        if budget == 0 {
+            return None;
+        }
+        // Retransmissions take priority and ignore flow control (the peer
+        // already granted credit for those offsets).
+        if let Some((&offset, &(len, fin))) = self.retransmit.iter().next() {
+            let take = len.min(budget);
+            self.retransmit.remove(&offset);
+            if take < len {
+                self.retransmit.insert(offset + take as u64, (len - take, fin));
+                return Some(Chunk {
+                    id: self.id,
+                    offset,
+                    len: take,
+                    fin: false,
+                });
+            }
+            return Some(Chunk {
+                id: self.id,
+                offset,
+                len: take,
+                fin,
+            });
+        }
+        let avail = self.sendable_new();
+        if avail > 0 {
+            let take = (avail.min(budget as u64)) as u32;
+            let offset = self.next_offset;
+            self.next_offset += take as u64;
+            let fin = self.fin_queued && self.next_offset >= self.queued;
+            if fin {
+                self.fin_sent = true;
+            }
+            return Some(Chunk {
+                id: self.id,
+                offset,
+                len: take,
+                fin,
+            });
+        }
+        if self.fin_pending() {
+            self.fin_sent = true;
+            return Some(Chunk {
+                id: self.id,
+                offset: self.next_offset,
+                len: 0,
+                fin: true,
+            });
+        }
+        None
+    }
+
+    /// A chunk was declared lost: queue it for retransmission.
+    pub fn on_chunk_lost(&mut self, chunk: &Chunk) {
+        if chunk.len == 0 && chunk.fin {
+            self.fin_sent = false;
+            return;
+        }
+        // Merge naively: exact-offset replacement is enough because chunks
+        // are only ever split, never re-fragmented differently.
+        self.retransmit.insert(chunk.offset, (chunk.len, chunk.fin));
+    }
+
+    /// Whether all queued data (and FIN) has been transmitted at least
+    /// once and no retransmissions are pending.
+    pub fn drained(&self) -> bool {
+        self.next_offset >= self.queued
+            && self.retransmit.is_empty()
+            && (!self.fin_queued || self.fin_sent)
+    }
+
+    /// Total bytes queued by the application so far.
+    pub fn queued_total(&self) -> u64 {
+        self.queued
+    }
+}
+
+/// Receiver side of one stream: interval reassembly.
+#[derive(Debug, Default)]
+pub struct RecvStream {
+    /// Received intervals (start -> end), non-overlapping, non-adjacent.
+    segments: BTreeMap<u64, u64>,
+    /// Everything below this has been delivered to the application.
+    delivered: u64,
+    /// Final length once FIN seen.
+    fin_at: Option<u64>,
+    fin_delivered: bool,
+}
+
+impl RecvStream {
+    /// Ingest a chunk; returns newly deliverable in-order bytes.
+    pub fn on_chunk(&mut self, offset: u64, len: u32, fin: bool) -> u64 {
+        if fin {
+            self.fin_at = Some(offset + len as u64);
+        }
+        if len > 0 {
+            let mut start = offset;
+            let mut end = offset + len as u64;
+            // Merge with overlapping/adjacent existing segments.
+            let overlapping: Vec<u64> = self
+                .segments
+                .range(..=end)
+                .filter(|&(&s, &e)| e >= start && s <= end)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in overlapping {
+                let e = self.segments.remove(&s).expect("segment exists");
+                start = start.min(s);
+                end = end.max(e);
+            }
+            self.segments.insert(start, end);
+        }
+        // Advance the in-order point.
+        let before = self.delivered;
+        while let Some((&s, &e)) = self.segments.first_key_value() {
+            if s <= self.delivered {
+                self.delivered = self.delivered.max(e);
+                self.segments.remove(&s);
+            } else {
+                break;
+            }
+        }
+        self.delivered - before
+    }
+
+    /// Whether the FIN point has been reached (callers emit StreamFin
+    /// once; see [`RecvStream::take_fin`]).
+    pub fn fin_reached(&self) -> bool {
+        matches!(self.fin_at, Some(end) if self.delivered >= end)
+    }
+
+    /// Latch the FIN event: true exactly once when complete.
+    pub fn take_fin(&mut self) -> bool {
+        if self.fin_reached() && !self.fin_delivered {
+            self.fin_delivered = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes delivered in order so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Bytes buffered out of order (for flow-control accounting).
+    pub fn buffered_out_of_order(&self) -> u64 {
+        self.segments.iter().map(|(&s, &e)| e - s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_stream_chunks_respect_budget() {
+        let mut s = SendStream::new(1, u64::MAX);
+        s.write(3000, true);
+        let c1 = s.next_chunk(1350).unwrap();
+        assert_eq!((c1.offset, c1.len, c1.fin), (0, 1350, false));
+        let c2 = s.next_chunk(1350).unwrap();
+        assert_eq!((c2.offset, c2.len, c2.fin), (1350, 1350, false));
+        let c3 = s.next_chunk(1350).unwrap();
+        assert_eq!((c3.offset, c3.len, c3.fin), (2700, 300, true));
+        assert!(s.next_chunk(1350).is_none());
+        assert!(s.drained());
+    }
+
+    #[test]
+    fn flow_control_blocks_fresh_data() {
+        let mut s = SendStream::new(1, 1000);
+        s.write(5000, false);
+        let c = s.next_chunk(1350).unwrap();
+        assert_eq!(c.len, 1000);
+        assert!(s.next_chunk(1350).is_none(), "blocked at max_offset");
+        assert!(s.blocked());
+        s.on_window_update(2500);
+        let c = s.next_chunk(1350).unwrap();
+        assert_eq!((c.offset, c.len), (1000, 1350));
+        assert!(!s.blocked());
+    }
+
+    #[test]
+    fn window_updates_never_shrink() {
+        let mut s = SendStream::new(1, 1000);
+        s.on_window_update(500);
+        s.write(800, false);
+        assert_eq!(s.next_chunk(2000).unwrap().len, 800);
+    }
+
+    #[test]
+    fn retransmissions_take_priority_and_split() {
+        let mut s = SendStream::new(1, u64::MAX);
+        s.write(4000, false);
+        let lost = s.next_chunk(1350).unwrap();
+        let _in_flight = s.next_chunk(1350).unwrap();
+        s.on_chunk_lost(&lost);
+        // Small budget splits the retransmission.
+        let r1 = s.next_chunk(500).unwrap();
+        assert_eq!((r1.offset, r1.len), (0, 500));
+        let r2 = s.next_chunk(1350).unwrap();
+        assert_eq!((r2.offset, r2.len), (500, 850));
+        // Then fresh data resumes where it left off.
+        let fresh = s.next_chunk(1350).unwrap();
+        assert_eq!(fresh.offset, 2700);
+    }
+
+    #[test]
+    fn bare_fin_is_sent_and_can_be_lost() {
+        let mut s = SendStream::new(1, u64::MAX);
+        s.write(0, true);
+        let f = s.next_chunk(1350).unwrap();
+        assert_eq!((f.len, f.fin), (0, true));
+        assert!(s.drained());
+        s.on_chunk_lost(&f);
+        assert!(!s.drained());
+        let f2 = s.next_chunk(1350).unwrap();
+        assert!(f2.fin);
+    }
+
+    #[test]
+    fn recv_in_order_delivery() {
+        let mut r = RecvStream::default();
+        assert_eq!(r.on_chunk(0, 100, false), 100);
+        assert_eq!(r.on_chunk(100, 100, false), 100);
+        assert_eq!(r.delivered(), 200);
+        assert!(!r.fin_reached());
+    }
+
+    #[test]
+    fn recv_out_of_order_holds_then_releases() {
+        let mut r = RecvStream::default();
+        assert_eq!(r.on_chunk(100, 100, false), 0);
+        assert_eq!(r.buffered_out_of_order(), 100);
+        // Filling the hole releases both.
+        assert_eq!(r.on_chunk(0, 100, false), 200);
+        assert_eq!(r.buffered_out_of_order(), 0);
+    }
+
+    #[test]
+    fn recv_duplicate_and_overlap_are_idempotent() {
+        let mut r = RecvStream::default();
+        r.on_chunk(0, 100, false);
+        assert_eq!(r.on_chunk(0, 100, false), 0, "exact duplicate");
+        assert_eq!(r.on_chunk(50, 100, false), 50, "overlap extends");
+        assert_eq!(r.delivered(), 150);
+    }
+
+    #[test]
+    fn recv_fin_handling() {
+        let mut r = RecvStream::default();
+        r.on_chunk(0, 50, false);
+        r.on_chunk(50, 50, true);
+        assert!(r.fin_reached());
+        assert!(r.take_fin());
+        assert!(!r.take_fin(), "fin latches once");
+    }
+
+    #[test]
+    fn recv_fin_waits_for_holes() {
+        let mut r = RecvStream::default();
+        r.on_chunk(100, 50, true);
+        assert!(!r.fin_reached());
+        r.on_chunk(0, 100, false);
+        assert!(r.fin_reached());
+    }
+
+    #[test]
+    fn recv_zero_length_fin() {
+        let mut r = RecvStream::default();
+        r.on_chunk(0, 100, false);
+        assert_eq!(r.on_chunk(100, 0, true), 0);
+        assert!(r.fin_reached());
+    }
+
+    #[test]
+    fn recv_merges_many_segments() {
+        let mut r = RecvStream::default();
+        // Every other 10-byte block first.
+        for i in (1..10).step_by(2) {
+            r.on_chunk(i * 10, 10, false);
+        }
+        assert_eq!(r.delivered(), 0);
+        // Then the gaps.
+        let mut total = 0;
+        for i in (0..10).step_by(2) {
+            total += r.on_chunk(i * 10, 10, false);
+        }
+        assert_eq!(total, 100);
+        assert_eq!(r.delivered(), 100);
+    }
+}

@@ -1,0 +1,29 @@
+//! Deterministic discrete-event network testbed.
+//!
+//! This crate is the substrate the whole `longlook` evaluation framework
+//! stands on: a seeded, single-threaded, discrete-event simulation of hosts
+//! connected by emulated links with `tc tbf` / `netem` semantics (rate
+//! limiting with a token bucket and drop-tail queue, base delay, jitter
+//! that reorders, random loss, explicit hold-back reordering, time-varying
+//! bandwidth), plus client device models that charge per-packet
+//! kernel/userspace processing costs.
+//!
+//! Everything is deterministic given an experiment seed, which is what
+//! makes the paper's methodology — back-to-back comparisons, at least 10
+//! rounds, statistical significance gates — exactly repeatable here.
+
+pub mod device;
+pub mod link;
+pub mod packet;
+pub mod rng;
+pub mod schedule;
+pub mod time;
+pub mod world;
+
+pub use device::{DeviceCpu, DeviceProfile};
+pub use link::{DropKind, Jitter, LinkConfig, LinkDir, LinkStats, ReorderSpec, Verdict};
+pub use packet::{FlowId, NodeId, Packet, PktClass};
+pub use rng::SimRng;
+pub use schedule::RateSchedule;
+pub use time::{transmission_delay, Dur, Time};
+pub use world::{Agent, Ctx, RunOutcome, World};

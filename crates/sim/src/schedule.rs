@@ -1,0 +1,163 @@
+//! Bandwidth schedules: fixed, piecewise, and randomly fluctuating rates.
+//!
+//! The paper's variable-bandwidth experiments (Fig 11) "randomly pick a
+//! rate in [50, 150] Mbps every one second". [`RateSchedule::RandomHold`]
+//! reproduces this as a *pure function* of (seed, period index), so the
+//! rate at any instant is well-defined independent of query order.
+
+use crate::rng::hash_unit;
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// A time-varying link rate in bits per second.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RateSchedule {
+    /// Constant rate.
+    Fixed(f64),
+    /// Step function: `(start_time, rate)` pairs, sorted ascending by time.
+    /// The first entry should start at `Time::ZERO`.
+    Piecewise(Vec<(Time, f64)>),
+    /// A fresh uniform draw from `[min_bps, max_bps]` held for each
+    /// `period`; the draw is `hash(seed, period_index)`.
+    RandomHold {
+        /// Lower rate bound (bits/sec).
+        min_bps: f64,
+        /// Upper rate bound (bits/sec).
+        max_bps: f64,
+        /// How long each draw is held.
+        period: Dur,
+        /// Schedule seed.
+        seed: u64,
+    },
+}
+
+impl RateSchedule {
+    /// Fixed schedule from megabits per second.
+    pub fn fixed_mbps(mbps: f64) -> Self {
+        RateSchedule::Fixed(mbps * 1e6)
+    }
+
+    /// Fluctuating schedule from a Mbps range, redrawn each `period`.
+    pub fn random_hold_mbps(min_mbps: f64, max_mbps: f64, period: Dur, seed: u64) -> Self {
+        RateSchedule::RandomHold {
+            min_bps: min_mbps * 1e6,
+            max_bps: max_mbps * 1e6,
+            period,
+            seed,
+        }
+    }
+
+    /// The rate in bits/sec at instant `t`. Always positive.
+    pub fn rate_at(&self, t: Time) -> f64 {
+        match self {
+            RateSchedule::Fixed(r) => {
+                debug_assert!(*r > 0.0);
+                *r
+            }
+            RateSchedule::Piecewise(steps) => {
+                assert!(!steps.is_empty(), "empty piecewise schedule");
+                let mut rate = steps[0].1;
+                for &(start, r) in steps {
+                    if start <= t {
+                        rate = r;
+                    } else {
+                        break;
+                    }
+                }
+                rate
+            }
+            RateSchedule::RandomHold {
+                min_bps,
+                max_bps,
+                period,
+                seed,
+            } => {
+                let idx = t.as_nanos() / period.as_nanos().max(1);
+                min_bps + (max_bps - min_bps) * hash_unit(*seed, idx)
+            }
+        }
+    }
+
+    /// Upper bound of the schedule (used for buffer sizing heuristics).
+    pub fn max_rate(&self) -> f64 {
+        match self {
+            RateSchedule::Fixed(r) => *r,
+            RateSchedule::Piecewise(steps) => {
+                steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+            }
+            RateSchedule::RandomHold { max_bps, .. } => *max_bps,
+        }
+    }
+
+    /// Mean rate of the schedule (exact for fixed, midpoint for random).
+    pub fn nominal_rate(&self) -> f64 {
+        match self {
+            RateSchedule::Fixed(r) => *r,
+            RateSchedule::Piecewise(steps) => {
+                steps.iter().map(|&(_, r)| r).sum::<f64>() / steps.len() as f64
+            }
+            RateSchedule::RandomHold {
+                min_bps, max_bps, ..
+            } => (min_bps + max_bps) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate() {
+        let s = RateSchedule::fixed_mbps(5.0);
+        assert_eq!(s.rate_at(Time::ZERO), 5e6);
+        assert_eq!(s.rate_at(Time::from_nanos(u64::MAX / 2)), 5e6);
+        assert_eq!(s.max_rate(), 5e6);
+    }
+
+    #[test]
+    fn piecewise_steps() {
+        let s = RateSchedule::Piecewise(vec![
+            (Time::ZERO, 1e6),
+            (Time::ZERO + Dur::from_secs(1), 2e6),
+            (Time::ZERO + Dur::from_secs(2), 3e6),
+        ]);
+        assert_eq!(s.rate_at(Time::ZERO), 1e6);
+        assert_eq!(s.rate_at(Time::ZERO + Dur::from_millis(999)), 1e6);
+        assert_eq!(s.rate_at(Time::ZERO + Dur::from_secs(1)), 2e6);
+        assert_eq!(s.rate_at(Time::ZERO + Dur::from_millis(2500)), 3e6);
+        assert_eq!(s.max_rate(), 3e6);
+    }
+
+    #[test]
+    fn random_hold_is_pure_and_bounded() {
+        let s = RateSchedule::random_hold_mbps(50.0, 150.0, Dur::from_secs(1), 77);
+        for k in 0..100u64 {
+            let t = Time::ZERO + Dur::from_millis(k * 137);
+            let r = s.rate_at(t);
+            assert!((50e6..=150e6).contains(&r), "r = {r}");
+            assert_eq!(r, s.rate_at(t), "pure function");
+        }
+    }
+
+    #[test]
+    fn random_hold_changes_across_periods() {
+        let s = RateSchedule::random_hold_mbps(50.0, 150.0, Dur::from_secs(1), 77);
+        let r0 = s.rate_at(Time::ZERO);
+        let r1 = s.rate_at(Time::ZERO + Dur::from_secs(1));
+        let r2 = s.rate_at(Time::ZERO + Dur::from_secs(2));
+        assert!(r0 != r1 || r1 != r2, "draws should vary");
+        // Within one period the rate holds.
+        assert_eq!(
+            s.rate_at(Time::ZERO + Dur::from_millis(100)),
+            s.rate_at(Time::ZERO + Dur::from_millis(900))
+        );
+    }
+
+    #[test]
+    fn nominal_rates() {
+        assert_eq!(RateSchedule::fixed_mbps(10.0).nominal_rate(), 10e6);
+        let s = RateSchedule::random_hold_mbps(50.0, 150.0, Dur::from_secs(1), 1);
+        assert_eq!(s.nominal_rate(), 100e6);
+    }
+}

@@ -1,0 +1,310 @@
+//! Simulated time: nanosecond-resolution instants and durations.
+//!
+//! The testbed is a deterministic discrete-event simulation, so wall-clock
+//! types are deliberately avoided: [`Time`] is a virtual instant measured
+//! from the start of an experiment, and [`Dur`] a span between instants.
+//! `u64` nanoseconds cover ~584 years of simulated time, far beyond any
+//! experiment here.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A virtual instant (nanoseconds since experiment start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The experiment origin.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as "never").
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Raw nanoseconds since origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since origin as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since origin as a float (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`; zero if `earlier` is in the future.
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference.
+    pub fn checked_since(self, earlier: Time) -> Option<Dur> {
+        self.0.checked_sub(earlier.0).map(Dur)
+    }
+}
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+    /// Largest representable span.
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Dur(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Dur(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds; panics on negative or
+    /// non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        Dur((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by an integer factor.
+    pub const fn saturating_mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+
+    /// Scale by a float factor (rounds to nearest nanosecond).
+    pub fn mul_f64(self, k: f64) -> Dur {
+        assert!(k.is_finite() && k >= 0.0, "invalid scale: {k}");
+        Dur((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Larger of two spans.
+    pub fn max(self, other: Dur) -> Dur {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Smaller of two spans.
+    pub fn min(self, other: Dur) -> Dur {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, d: Dur) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    /// Panics if `rhs` is later than `self`; use
+    /// [`Time::saturating_since`] when order is uncertain.
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self
+            .0
+            .checked_sub(rhs.0)
+            .expect("time subtraction underflow"))
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, d: Dur) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self
+            .0
+            .checked_sub(rhs.0)
+            .expect("duration subtraction underflow"))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, k: u64) -> Dur {
+        self.saturating_mul(k)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl Div for Dur {
+    type Output = f64;
+    fn div(self, rhs: Dur) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0 / 1000)
+        }
+    }
+}
+
+/// Transmission (serialization) delay of `bytes` at `bits_per_sec`.
+pub fn transmission_delay(bytes: u64, bits_per_sec: f64) -> Dur {
+    assert!(bits_per_sec > 0.0, "rate must be positive");
+    Dur::from_secs_f64(bytes as f64 * 8.0 / bits_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Dur::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(Dur::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Dur::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(Dur::from_secs_f64(0.5).as_millis_f64(), 500.0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::ZERO + Dur::from_millis(10);
+        assert_eq!(t.as_nanos(), 10_000_000);
+        assert_eq!(t - Time::ZERO, Dur::from_millis(10));
+        assert_eq!((t - Dur::from_millis(3)).as_nanos(), 7_000_000);
+        assert_eq!(Time::ZERO.saturating_since(t), Dur::ZERO);
+        assert_eq!(t.checked_since(Time::ZERO), Some(Dur::from_millis(10)));
+        assert_eq!(Time::ZERO.checked_since(t), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_subtraction_underflow_panics() {
+        let _ = Time::ZERO - (Time::ZERO + Dur::from_nanos(1));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(Dur::from_millis(10) * 3, Dur::from_millis(30));
+        assert_eq!(Dur::from_millis(10) / 2, Dur::from_millis(5));
+        assert_eq!(Dur::from_millis(10).mul_f64(1.5), Dur::from_millis(15));
+        assert_eq!(Dur::from_millis(10) / Dur::from_millis(4), 2.5);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Dur::from_millis(1);
+        let b = Dur::from_millis(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn transmission_delay_math() {
+        // 1500 bytes at 12 Mbps = 1 ms.
+        assert_eq!(transmission_delay(1500, 12e6), Dur::from_millis(1));
+        // 1 byte at 8 bps = 1 s.
+        assert_eq!(transmission_delay(1, 8.0), Dur::from_secs(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Dur::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", Dur::from_millis(3)), "3.000ms");
+        assert_eq!(format!("{}", Dur::from_micros(9)), "9us");
+    }
+
+    #[test]
+    fn saturating_behavior() {
+        assert_eq!(Time::MAX + Dur::from_secs(1), Time::MAX);
+        assert_eq!(Dur::from_millis(1).saturating_sub(Dur::from_millis(2)), Dur::ZERO);
+    }
+}

@@ -1,0 +1,582 @@
+//! The discrete-event world: nodes, links, and the event loop.
+//!
+//! Agents (hosts, proxies) are event-driven state machines in the smoltcp
+//! tradition: the world delivers packets and wakeups, agents respond by
+//! emitting packets and requesting future wakeups through [`Ctx`]. No
+//! threads, no wall clock — a seeded world replays identically.
+
+use crate::device::{DeviceCpu, DeviceProfile};
+use crate::link::{LinkConfig, LinkDir, LinkStats, Verdict};
+use crate::packet::{NodeId, Packet};
+use crate::rng::SimRng;
+use crate::time::Time;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Interface the world hands an agent during a callback.
+pub struct Ctx<'a> {
+    /// Current simulated time.
+    pub now: Time,
+    node: NodeId,
+    out: &'a mut Vec<Packet>,
+    wakes: &'a mut Vec<Time>,
+    stop: &'a mut bool,
+}
+
+impl Ctx<'_> {
+    /// The agent's own node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Emit a packet. `pkt.src` must be this node and `pkt.dst` must be an
+    /// adjacent node; violations panic when the outbox is drained.
+    pub fn send(&mut self, pkt: Packet) {
+        self.out.push(pkt);
+    }
+
+    /// Request a wakeup at (or after) `t`. Multiple requests are fine;
+    /// stale wakeups are harmless no-ops for a well-written agent.
+    pub fn wake_at(&mut self, t: Time) {
+        self.wakes.push(t);
+    }
+
+    /// Ask the world to stop after this callback returns. Used by
+    /// experiment drivers when the measured workload completes.
+    pub fn request_stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// An event-driven node.
+pub trait Agent: Any {
+    /// A packet addressed to this node has been fully processed by the
+    /// device CPU and is ready for the protocol.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+
+    /// A previously requested wakeup (or the bootstrap kick) fired.
+    fn on_wakeup(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Downcast support so experiment drivers can read results back out.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Packet finished traversing the link; next it pays CPU processing.
+    LinkOut(Packet),
+    /// Packet processed; deliver to the agent.
+    Deliver(Packet),
+    /// Agent wakeup.
+    Wake(NodeId),
+}
+
+/// Heap entry ordered by (time, sequence) for deterministic tie-breaking.
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot {
+    agent: Option<Box<dyn Agent>>,
+    cpu: DeviceCpu,
+    /// Earliest pending Wake event for this node (dedup: scheduling a
+    /// wake at or after this instant is a no-op).
+    pending_wake: Option<Time>,
+}
+
+/// The simulated world.
+pub struct World {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    nodes: Vec<NodeSlot>,
+    links: HashMap<(NodeId, NodeId), LinkDir>,
+    rng: SimRng,
+    stop: bool,
+    events_processed: u64,
+}
+
+impl World {
+    /// Create a world with the given experiment seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            rng: SimRng::new(seed),
+            stop: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Add a node running `agent` on hardware `profile`.
+    pub fn add_node(&mut self, agent: Box<dyn Agent>, profile: DeviceProfile) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot {
+            agent: Some(agent),
+            cpu: DeviceCpu::new(profile),
+            pending_wake: None,
+        });
+        id
+    }
+
+    /// Connect `a -> b` with `cfg_ab` and `b -> a` with `cfg_ba`.
+    /// Each direction gets an independent RNG stream.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, cfg_ab: LinkConfig, cfg_ba: LinkConfig) {
+        let rng_ab = self.rng.fork((a.0 as u64) << 32 | b.0 as u64);
+        let rng_ba = self.rng.fork((b.0 as u64) << 32 | a.0 as u64);
+        assert!(
+            self.links.insert((a, b), LinkDir::new(cfg_ab, rng_ab)).is_none(),
+            "link {a:?}->{b:?} already exists"
+        );
+        assert!(
+            self.links.insert((b, a), LinkDir::new(cfg_ba, rng_ba)).is_none(),
+            "link {b:?}->{a:?} already exists"
+        );
+    }
+
+    /// Schedule a bootstrap wakeup so the node can start transmitting.
+    pub fn kick(&mut self, node: NodeId) {
+        self.schedule_wake(node, self.now);
+    }
+
+    /// Schedule a Wake for `node` at `at`, deduplicating against any
+    /// earlier pending wake (agents re-request their next timer on every
+    /// dispatch; without dedup the heap fills with stale duplicates).
+    fn schedule_wake(&mut self, node: NodeId, at: Time) {
+        let slot = &mut self.nodes[node.0 as usize];
+        if slot.pending_wake.is_some_and(|p| p <= at) {
+            return;
+        }
+        slot.pending_wake = Some(at);
+        self.push(at, Ev::Wake(node));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Whether an agent requested a stop.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+    }
+
+    /// Clear a previous stop request (to continue a multi-phase run).
+    pub fn clear_stop(&mut self) {
+        self.stop = false;
+    }
+
+    /// Statistics for the `a -> b` link direction.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<&LinkStats> {
+        self.links.get(&(a, b)).map(|l| l.stats())
+    }
+
+    /// Immutable access to an agent, downcast to its concrete type.
+    pub fn agent<T: 'static>(&self, id: NodeId) -> &T {
+        self.nodes[id.0 as usize]
+            .agent
+            .as_ref()
+            .expect("agent is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("agent type mismatch")
+    }
+
+    /// Mutable access to an agent, downcast to its concrete type.
+    pub fn agent_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0 as usize]
+            .agent
+            .as_mut()
+            .expect("agent is being dispatched")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("agent type mismatch")
+    }
+
+    fn push(&mut self, at: Time, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Process one event. Returns `false` when the heap is exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(sched)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(sched.at >= self.now, "time went backwards");
+        self.now = sched.at;
+        self.events_processed += 1;
+        match sched.ev {
+            Ev::LinkOut(pkt) => {
+                // Charge the destination's CPU, then deliver.
+                let done = self.nodes[pkt.dst.0 as usize].cpu.process(self.now, pkt.class);
+                if done > self.now {
+                    self.push(done, Ev::Deliver(pkt));
+                } else {
+                    self.dispatch_packet(pkt);
+                }
+            }
+            Ev::Deliver(pkt) => self.dispatch_packet(pkt),
+            Ev::Wake(node) => {
+                // Stale duplicates (superseded by an earlier wake) fire as
+                // harmless no-ops; clear the dedup marker when the
+                // earliest pending wake fires.
+                if self.nodes[node.0 as usize].pending_wake == Some(self.now) {
+                    self.nodes[node.0 as usize].pending_wake = None;
+                }
+                self.dispatch_wake(node);
+            }
+        }
+        true
+    }
+
+    /// Run until an agent requests a stop, the heap empties, or `deadline`
+    /// passes. Returns the stop reason.
+    pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
+        loop {
+            if self.stop {
+                return RunOutcome::Stopped;
+            }
+            match self.heap.peek() {
+                None => return RunOutcome::Idle,
+                Some(Reverse(s)) if s.at > deadline => return RunOutcome::DeadlineReached,
+                _ => {}
+            }
+            self.step();
+        }
+    }
+
+    fn dispatch_packet(&mut self, pkt: Packet) {
+        let node = pkt.dst;
+        self.dispatch(node, Some(pkt));
+    }
+
+    fn dispatch_wake(&mut self, node: NodeId) {
+        self.dispatch(node, None);
+    }
+
+    fn dispatch(&mut self, node: NodeId, pkt: Option<Packet>) {
+        let mut agent = self.nodes[node.0 as usize]
+            .agent
+            .take()
+            .expect("reentrant dispatch");
+        let mut out = Vec::new();
+        let mut wakes = Vec::new();
+        let mut stop = false;
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                out: &mut out,
+                wakes: &mut wakes,
+                stop: &mut stop,
+            };
+            match pkt {
+                Some(p) => agent.on_packet(p, &mut ctx),
+                None => agent.on_wakeup(&mut ctx),
+            }
+        }
+        self.nodes[node.0 as usize].agent = Some(agent);
+        if stop {
+            self.stop = true;
+        }
+        for t in wakes {
+            let at = if t < self.now { self.now } else { t };
+            self.schedule_wake(node, at);
+        }
+        for pkt in out {
+            assert_eq!(pkt.src, node, "agent spoofed src");
+            self.route(pkt);
+        }
+    }
+
+    fn route(&mut self, pkt: Packet) {
+        let link = self
+            .links
+            .get_mut(&(pkt.src, pkt.dst))
+            .unwrap_or_else(|| panic!("no link {:?} -> {:?}", pkt.src, pkt.dst));
+        match link.transit(self.now, pkt.wire_size) {
+            Verdict::DeliverAt(at) => self.push(at, Ev::LinkOut(pkt)),
+            Verdict::Dropped(_) => {} // the network eats it; transports recover
+        }
+    }
+}
+
+/// Why [`World::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// An agent called [`Ctx::request_stop`].
+    Stopped,
+    /// No more events.
+    Idle,
+    /// The next event lies beyond the deadline.
+    DeadlineReached,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PktClass};
+    use crate::time::Dur;
+    use bytes::Bytes;
+
+    /// Replies to every packet; counts what it sees.
+    struct Echo {
+        peer: Option<NodeId>,
+        received: Vec<(Time, u32)>,
+        wakes: u32,
+    }
+
+    impl Echo {
+        fn new(peer: Option<NodeId>) -> Self {
+            Echo {
+                peer,
+                received: Vec::new(),
+                wakes: 0,
+            }
+        }
+    }
+
+    impl Agent for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            self.received.push((ctx.now, pkt.wire_size));
+            if let Some(peer) = self.peer {
+                ctx.send(Packet::new(
+                    ctx.node(),
+                    peer,
+                    pkt.flow,
+                    pkt.class,
+                    100,
+                    Bytes::new(),
+                ));
+            }
+        }
+        fn on_wakeup(&mut self, ctx: &mut Ctx<'_>) {
+            self.wakes += 1;
+            if self.wakes == 1 {
+                if let Some(peer) = self.peer {
+                    ctx.send(Packet::new(
+                        ctx.node(),
+                        peer,
+                        FlowId(1),
+                        PktClass::Kernel,
+                        1000,
+                        Bytes::new(),
+                    ));
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_world(delay: Dur) -> (World, NodeId, NodeId) {
+        let mut w = World::new(7);
+        let b = NodeId(1);
+        let a = w.add_node(Box::new(Echo::new(Some(b))), DeviceProfile::SERVER);
+        let b2 = w.add_node(Box::new(Echo::new(Some(a))), DeviceProfile::SERVER);
+        assert_eq!(b, b2);
+        w.connect(a, b, LinkConfig::ideal(delay), LinkConfig::ideal(delay));
+        (w, a, b)
+    }
+
+    #[test]
+    fn ping_pong_rtt() {
+        let (mut w, a, b) = two_node_world(Dur::from_millis(6));
+        w.kick(a);
+        // Run a few exchanges then stop by deadline.
+        w.run_until(Time::ZERO + Dur::from_millis(100));
+        let echo_b = w.agent::<Echo>(b);
+        assert!(!echo_b.received.is_empty());
+        // First arrival at b is one-way delay (+ negligible CPU).
+        let (t, size) = echo_b.received[0];
+        assert_eq!(size, 1000);
+        assert!(
+            t >= Time::ZERO + Dur::from_millis(6)
+                && t < Time::ZERO + Dur::from_millis(7),
+            "t = {t}"
+        );
+        // a receives replies 2 one-way delays after sending.
+        let echo_a = w.agent::<Echo>(a);
+        assert!(!echo_a.received.is_empty());
+        assert!(echo_a.received[0].0 >= Time::ZERO + Dur::from_millis(12));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut w, a, b) = two_node_world(Dur::from_millis(3));
+            w.kick(a);
+            w.run_until(Time::ZERO + Dur::from_millis(50));
+            (
+                w.agent::<Echo>(a).received.clone(),
+                w.agent::<Echo>(b).received.clone(),
+                w.events_processed(),
+            )
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.0, r2.0);
+        assert_eq!(r1.1, r2.1);
+        assert_eq!(r1.2, r2.2);
+    }
+
+    #[test]
+    fn deadline_stops_run() {
+        let (mut w, a, _) = two_node_world(Dur::from_millis(10));
+        w.kick(a);
+        let outcome = w.run_until(Time::ZERO + Dur::from_millis(15));
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert!(w.now() <= Time::ZERO + Dur::from_millis(15));
+    }
+
+    #[test]
+    fn idle_when_no_events() {
+        let mut w = World::new(1);
+        assert_eq!(w.run_until(Time::MAX), RunOutcome::Idle);
+        assert!(!w.step());
+    }
+
+    #[test]
+    fn cpu_cost_delays_delivery() {
+        struct Sink {
+            got_at: Option<Time>,
+        }
+        impl Agent for Sink {
+            fn on_packet(&mut self, _p: Packet, ctx: &mut Ctx<'_>) {
+                self.got_at = Some(ctx.now);
+            }
+            fn on_wakeup(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct Src {
+            dst: NodeId,
+        }
+        impl Agent for Src {
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_wakeup(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(Packet::new(
+                    ctx.node(),
+                    self.dst,
+                    FlowId(0),
+                    PktClass::Userspace,
+                    1200,
+                    Bytes::new(),
+                ));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(3);
+        let sink_id = NodeId(0);
+        let sink = w.add_node(Box::new(Sink { got_at: None }), DeviceProfile::MOTOG);
+        assert_eq!(sink, sink_id);
+        let src = w.add_node(Box::new(Src { dst: sink }), DeviceProfile::SERVER);
+        w.connect(src, sink, LinkConfig::ideal(Dur::ZERO), LinkConfig::ideal(Dur::ZERO));
+        w.kick(src);
+        w.run_until(Time::MAX);
+        let got = w.agent::<Sink>(sink).got_at.expect("delivered");
+        // MotoG userspace cost is 400us.
+        assert_eq!(got, Time::ZERO + Dur::from_micros(400));
+    }
+
+    #[test]
+    fn stop_request_halts_world() {
+        struct Stopper;
+        impl Agent for Stopper {
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_wakeup(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.request_stop();
+                ctx.wake_at(ctx.now + Dur::from_secs(1)); // should never fire
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let n = w.add_node(Box::new(Stopper), DeviceProfile::SERVER);
+        w.kick(n);
+        assert_eq!(w.run_until(Time::MAX), RunOutcome::Stopped);
+        assert_eq!(w.now(), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn routing_to_unconnected_node_panics() {
+        struct Bad;
+        impl Agent for Bad {
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_wakeup(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(Packet::new(
+                    ctx.node(),
+                    NodeId(99),
+                    FlowId(0),
+                    PktClass::Kernel,
+                    100,
+                    Bytes::new(),
+                ));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1);
+        let n = w.add_node(Box::new(Bad), DeviceProfile::SERVER);
+        w.kick(n);
+        w.run_until(Time::MAX);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the link emulation and time arithmetic.
+
+use longlook_sim::link::{Jitter, LinkConfig, LinkDir, Verdict};
+use longlook_sim::schedule::RateSchedule;
+use longlook_sim::time::{transmission_delay, Dur, Time};
+use longlook_sim::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    /// Without jitter/reordering, deliveries never invert: arrival times
+    /// are non-decreasing in send order.
+    #[test]
+    fn shaped_link_preserves_order(
+        rate_mbps in 1.0f64..200.0,
+        delay_ms in 0u64..200,
+        sizes in proptest::collection::vec(40u32..1500, 1..200),
+        gap_us in 1u64..2000,
+    ) {
+        let cfg = LinkConfig::shaped(
+            RateSchedule::fixed_mbps(rate_mbps),
+            Dur::from_millis(delay_ms),
+            Dur::from_millis(36),
+        );
+        let mut link = LinkDir::new(cfg, SimRng::new(1));
+        let mut last = Time::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            let t = Time::ZERO + Dur::from_micros(i as u64 * gap_us);
+            if let Verdict::DeliverAt(at) = link.transit(t, size) {
+                prop_assert!(at >= last, "ordering violated");
+                prop_assert!(at >= t + Dur::from_millis(delay_ms), "faster than light");
+                last = at;
+            }
+        }
+        prop_assert_eq!(link.stats().reordered, 0);
+    }
+
+    /// Arrival is never earlier than departure + serialization at the
+    /// configured rate.
+    #[test]
+    fn serialization_lower_bound(
+        rate_mbps in 1.0f64..100.0,
+        size in 100u32..1500,
+    ) {
+        let mut cfg = LinkConfig::shaped(
+            RateSchedule::fixed_mbps(rate_mbps),
+            Dur::ZERO,
+            Dur::from_millis(36),
+        );
+        cfg.burst_bytes = 0;
+        let mut link = LinkDir::new(cfg, SimRng::new(2));
+        match link.transit(Time::ZERO, size) {
+            Verdict::DeliverAt(at) => {
+                let min = transmission_delay(size as u64, rate_mbps * 1e6);
+                prop_assert!(at >= Time::ZERO + min);
+            }
+            v => prop_assert!(false, "unexpected {v:?}"),
+        }
+    }
+
+    /// Loss rate converges to the configured probability.
+    #[test]
+    fn loss_rate_converges(p in 0.0f64..0.3) {
+        let cfg = LinkConfig::ideal(Dur::from_millis(5)).with_loss(p);
+        let mut link = LinkDir::new(cfg, SimRng::new(3));
+        let n = 8000u64;
+        for i in 0..n {
+            link.transit(Time::ZERO + Dur::from_micros(i * 50), 1000);
+        }
+        let measured = link.stats().loss_rate();
+        prop_assert!((measured - p).abs() < 0.03, "{measured} vs {p}");
+    }
+
+    /// Queue occupancy is bounded by the configured buffer.
+    #[test]
+    fn queue_never_exceeds_buffer(
+        buffer_kb in 8u64..256,
+        offered in proptest::collection::vec(100u32..1500, 1..300),
+    ) {
+        let cfg = LinkConfig {
+            rate: Some(RateSchedule::fixed_mbps(5.0)),
+            delay: Dur::ZERO,
+            jitter: Jitter::None,
+            loss: 0.0,
+            reorder: None,
+            buffer_bytes: buffer_kb * 1024,
+            burst_bytes: 0,
+        };
+        let mut link = LinkDir::new(cfg, SimRng::new(4));
+        for &size in &offered {
+            link.transit(Time::ZERO, size);
+            prop_assert!(
+                link.queue_bytes(Time::ZERO) <= buffer_kb * 1024 + 1500,
+                "queue exceeded buffer"
+            );
+        }
+    }
+
+    /// Time arithmetic: (t + d) - t == d and saturating subtraction never
+    /// panics.
+    #[test]
+    fn time_roundtrip(base_ns in 0u64..u64::MAX / 4, d_ns in 0u64..u64::MAX / 4) {
+        let t = Time::from_nanos(base_ns);
+        let d = Dur::from_nanos(d_ns);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), Dur::ZERO);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+
+    /// RandomHold schedules are pure and respect bounds.
+    #[test]
+    fn random_hold_bounds(seed in any::<u64>(), queries in proptest::collection::vec(0u64..120_000, 1..64)) {
+        let s = RateSchedule::random_hold_mbps(50.0, 150.0, Dur::from_secs(1), seed);
+        for &ms in &queries {
+            let t = Time::ZERO + Dur::from_millis(ms);
+            let r = s.rate_at(t);
+            prop_assert!((50e6..=150e6).contains(&r));
+            prop_assert_eq!(r, s.rate_at(t));
+        }
+    }
+}

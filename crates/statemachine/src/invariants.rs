@@ -1,0 +1,215 @@
+//! Temporal invariant mining, after Synoptic (Beschastnikh et al., the
+//! paper's citation 15).
+//!
+//! Synoptic mines three families of invariants from traces and uses them
+//! to constrain the inferred model:
+//!
+//! * `a AlwaysFollowedBy b` — every occurrence of `a` is eventually
+//!   followed by an occurrence of `b` in the same trace;
+//! * `a NeverFollowedBy b` — no occurrence of `a` is ever followed by `b`;
+//! * `a AlwaysPrecedes b` — every occurrence of `b` has some earlier `a`.
+
+use crate::trace::Trace;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One mined invariant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Invariant {
+    /// `a` is always eventually followed by `b`.
+    AlwaysFollowedBy(String, String),
+    /// `a` is never followed by `b`.
+    NeverFollowedBy(String, String),
+    /// `a` always precedes `b`.
+    AlwaysPrecedes(String, String),
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Invariant::AlwaysFollowedBy(a, b) => write!(f, "{a} AlwaysFollowedBy {b}"),
+            Invariant::NeverFollowedBy(a, b) => write!(f, "{a} NeverFollowedBy {b}"),
+            Invariant::AlwaysPrecedes(a, b) => write!(f, "{a} AlwaysPrecedes {b}"),
+        }
+    }
+}
+
+/// Mine all invariants that hold over every trace.
+///
+/// Only label pairs where both labels actually occur somewhere are
+/// considered (vacuous invariants over absent labels are uninteresting).
+pub fn mine(traces: &[Trace]) -> Vec<Invariant> {
+    let mut alphabet: BTreeSet<String> = BTreeSet::new();
+    for t in traces {
+        for (_, s) in &t.visits {
+            alphabet.insert(s.clone());
+        }
+    }
+    let labels: Vec<String> = alphabet.into_iter().collect();
+
+    // Per-pair counters across all traces.
+    // followed[a][b]: in how many a-occurrences was b seen later?
+    let mut occurrences: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut followed: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    let mut b_occurrences: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut preceded: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+
+    for t in traces {
+        let seq = t.labels();
+        for (i, &a) in seq.iter().enumerate() {
+            // Register against the global alphabet keys.
+            let a_key = labels.iter().find(|l| l.as_str() == a).expect("in alphabet");
+            *occurrences.entry(a_key).or_insert(0) += 1;
+            let after: BTreeSet<&str> = seq[i + 1..].iter().copied().collect();
+            for b in &labels {
+                if after.contains(b.as_str()) {
+                    *followed.entry((a_key, b)).or_insert(0) += 1;
+                }
+            }
+            let before: BTreeSet<&str> = seq[..i].iter().copied().collect();
+            *b_occurrences.entry(a_key).or_insert(0) += 1;
+            for b in &labels {
+                if before.contains(b.as_str()) {
+                    *preceded.entry((b, a_key)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for a in &labels {
+        for b in &labels {
+            let occ_a = occurrences.get(a.as_str()).copied().unwrap_or(0);
+            let fol = followed.get(&(a.as_str(), b.as_str())).copied().unwrap_or(0);
+            if occ_a > 0 {
+                if fol == occ_a {
+                    out.push(Invariant::AlwaysFollowedBy(a.clone(), b.clone()));
+                } else if fol == 0 {
+                    out.push(Invariant::NeverFollowedBy(a.clone(), b.clone()));
+                }
+            }
+            let occ_b = b_occurrences.get(b.as_str()).copied().unwrap_or(0);
+            let prec = preceded.get(&(a.as_str(), b.as_str())).copied().unwrap_or(0);
+            if occ_b > 0 && prec == occ_b && a != b {
+                out.push(Invariant::AlwaysPrecedes(a.clone(), b.clone()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Check a single trace against an invariant (for counterexample search).
+pub fn holds(inv: &Invariant, trace: &Trace) -> bool {
+    let seq = trace.labels();
+    match inv {
+        Invariant::AlwaysFollowedBy(a, b) => seq
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == a)
+            .all(|(i, _)| seq[i + 1..].contains(&b.as_str())),
+        Invariant::NeverFollowedBy(a, b) => !seq
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == a)
+            .any(|(i, _)| seq[i + 1..].contains(&b.as_str())),
+        Invariant::AlwaysPrecedes(a, b) => seq
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == b)
+            .all(|(i, _)| seq[..i].contains(&a.as_str())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longlook_sim::time::{Dur, Time};
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+
+    fn trace(labels: &[&str]) -> Trace {
+        let visits: Vec<(Time, &str)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (t(i as u64 * 10), s))
+            .collect();
+        Trace::from_labels(&visits, t(labels.len() as u64 * 10))
+    }
+
+    #[test]
+    fn mines_always_followed_by() {
+        let traces = vec![trace(&["Init", "SlowStart", "CA"]), trace(&["Init", "SlowStart"])];
+        let invs = mine(&traces);
+        assert!(invs.contains(&Invariant::AlwaysFollowedBy(
+            "Init".into(),
+            "SlowStart".into()
+        )));
+        // CA does not always follow SlowStart (second trace lacks it).
+        assert!(!invs.contains(&Invariant::AlwaysFollowedBy(
+            "SlowStart".into(),
+            "CA".into()
+        )));
+    }
+
+    #[test]
+    fn mines_never_followed_by() {
+        let traces = vec![trace(&["Init", "SlowStart", "CA"])];
+        let invs = mine(&traces);
+        assert!(invs.contains(&Invariant::NeverFollowedBy("CA".into(), "Init".into())));
+        assert!(invs.contains(&Invariant::NeverFollowedBy(
+            "SlowStart".into(),
+            "Init".into()
+        )));
+    }
+
+    #[test]
+    fn mines_always_precedes() {
+        let traces = vec![
+            trace(&["Init", "SlowStart", "CA", "Recovery", "CA"]),
+            trace(&["Init", "SlowStart", "CA"]),
+        ];
+        let invs = mine(&traces);
+        assert!(invs.contains(&Invariant::AlwaysPrecedes(
+            "Init".into(),
+            "Recovery".into()
+        )));
+        assert!(invs.contains(&Invariant::AlwaysPrecedes("Init".into(), "CA".into())));
+    }
+
+    #[test]
+    fn holds_checks_counterexamples() {
+        let good = trace(&["A", "B"]);
+        let bad = trace(&["A"]);
+        let inv = Invariant::AlwaysFollowedBy("A".into(), "B".into());
+        assert!(holds(&inv, &good));
+        assert!(!holds(&inv, &bad));
+        let nfb = Invariant::NeverFollowedBy("B".into(), "A".into());
+        assert!(holds(&nfb, &good));
+        assert!(!holds(&nfb, &trace(&["B", "A"])));
+        let ap = Invariant::AlwaysPrecedes("A".into(), "B".into());
+        assert!(holds(&ap, &good));
+        assert!(!holds(&ap, &trace(&["B"])));
+    }
+
+    #[test]
+    fn mined_invariants_hold_on_inputs() {
+        let traces = vec![
+            trace(&["Init", "SlowStart", "CA", "Recovery", "CA", "AppLimited"]),
+            trace(&["Init", "SlowStart", "AppLimited", "SlowStart", "CA"]),
+            trace(&["Init", "SlowStart"]),
+        ];
+        for inv in mine(&traces) {
+            for tr in &traces {
+                assert!(holds(&inv, tr), "{inv} violated");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_traces_mine_nothing() {
+        assert!(mine(&[]).is_empty());
+    }
+}

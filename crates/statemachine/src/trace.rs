@@ -1,0 +1,82 @@
+//! Execution traces: the raw material of state-machine inference.
+
+use longlook_sim::time::{Dur, Time};
+use serde::Serialize;
+
+/// One observed execution: an ordered sequence of `(enter_time, state)`
+/// visits plus the total observation span.
+#[derive(Debug, Clone, Serialize)]
+pub struct Trace {
+    /// Ordered visits; the first entry is the initial state.
+    pub visits: Vec<(Time, String)>,
+    /// End of observation (for the final dwell time).
+    pub end: Time,
+}
+
+impl Trace {
+    /// Build from `(time, label)` pairs and an end-of-observation time.
+    pub fn new(visits: Vec<(Time, String)>, end: Time) -> Self {
+        Trace { visits, end }
+    }
+
+    /// Build from string slices (convenient for transport StateTraces).
+    pub fn from_labels(visits: &[(Time, &str)], end: Time) -> Self {
+        Trace {
+            visits: visits
+                .iter()
+                .map(|&(t, s)| (t, s.to_string()))
+                .collect(),
+            end,
+        }
+    }
+
+    /// The label sequence.
+    pub fn labels(&self) -> Vec<&str> {
+        self.visits.iter().map(|(_, s)| s.as_str()).collect()
+    }
+
+    /// Dwell time of the `i`-th visit.
+    pub fn dwell(&self, i: usize) -> Dur {
+        let start = self.visits[i].0;
+        let end = self
+            .visits
+            .get(i + 1)
+            .map(|&(t, _)| t)
+            .unwrap_or(self.end);
+        end.saturating_since(start)
+    }
+
+    /// Total observation span.
+    pub fn span(&self) -> Dur {
+        match self.visits.first() {
+            Some(&(t0, _)) => self.end.saturating_since(t0),
+            None => Dur::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+
+    #[test]
+    fn labels_and_dwells() {
+        let tr = Trace::from_labels(&[(t(0), "A"), (t(10), "B"), (t(30), "A")], t(100));
+        assert_eq!(tr.labels(), vec!["A", "B", "A"]);
+        assert_eq!(tr.dwell(0), Dur::from_millis(10));
+        assert_eq!(tr.dwell(1), Dur::from_millis(20));
+        assert_eq!(tr.dwell(2), Dur::from_millis(70));
+        assert_eq!(tr.span(), Dur::from_millis(100));
+    }
+
+    #[test]
+    fn empty_trace_span_is_zero() {
+        let tr = Trace::new(vec![], t(50));
+        assert_eq!(tr.span(), Dur::ZERO);
+        assert!(tr.labels().is_empty());
+    }
+}

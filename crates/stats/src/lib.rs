@@ -1,0 +1,27 @@
+//! Statistics for rigorous transport-protocol comparison.
+//!
+//! The paper's methodology hinges on *statistical* rather than anecdotal
+//! comparison: every QUIC-vs-TCP difference is gated by a Welch's t-test at
+//! `p < 0.01`, and differences that fail the gate are reported as
+//! inconclusive (white heatmap cells) rather than as wins or losses.
+//!
+//! This crate provides exactly that layer:
+//!
+//! * [`Summary`] — streaming mean / variance / extrema of a sample set,
+//! * [`welch_t_test`] — two-sample unequal-variance location test with a
+//!   numerically computed two-sided p-value (no lookup tables),
+//! * [`Comparison`] — percent-difference between two sample sets with the
+//!   significance verdict attached,
+//! * [`heatmap`] — the red/blue/white matrix presentation used by the
+//!   paper's Figures 6-8, 12, 14, 15, 17 and 18.
+
+pub mod beta;
+pub mod compare;
+pub mod heatmap;
+pub mod summary;
+pub mod welch;
+
+pub use compare::{percent_difference, Comparison, Verdict};
+pub use heatmap::{Heatmap, HeatmapCell};
+pub use summary::Summary;
+pub use welch::{welch_t_test, WelchResult, DEFAULT_ALPHA};

@@ -1,0 +1,152 @@
+//! Welch's unequal-variance t-test (the significance gate of the paper).
+//!
+//! The paper, Sec 5.2: "We use the Welch's t-test, a two-sample location
+//! test which is used to test the hypothesis that two populations have
+//! equal means. For each scenario, we calculate the p-value ... if the
+//! p-value is smaller than our threshold (0.01), then we reject the null
+//! hypothesis ... Otherwise the difference we observe is not significant
+//! and is likely due to noise."
+
+use crate::beta::student_t_two_sided_p;
+use crate::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Significance threshold used throughout the paper.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Outcome of a Welch's t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite effective degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value: probability of observing a difference at least
+    /// this large under the null hypothesis of equal means.
+    pub p: f64,
+}
+
+impl WelchResult {
+    /// Whether the observed difference is significant at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p < alpha
+    }
+
+    /// Whether the difference passes the paper's `p < 0.01` gate.
+    pub fn significant(&self) -> bool {
+        self.significant_at(DEFAULT_ALPHA)
+    }
+}
+
+/// Run Welch's t-test on two sample sets.
+///
+/// Returns `None` when either set has fewer than two samples or when both
+/// sample variances are zero *and* the means are identical (no test is
+/// possible or needed). Two constant-but-different sample sets are reported
+/// as maximally significant (`p = 0`), which matches intuition: a
+/// deterministic simulator that always produces a faster QUIC run than TCP
+/// run is as conclusive as evidence gets.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let va = sa.sample_variance() / a.len() as f64;
+    let vb = sb.sample_variance() / b.len() as f64;
+    let denom = (va + vb).sqrt();
+    if denom == 0.0 {
+        return if sa.mean() == sb.mean() {
+            None
+        } else {
+            Some(WelchResult {
+                t: f64::INFINITY,
+                df: (a.len() + b.len() - 2) as f64,
+                p: 0.0,
+            })
+        };
+    }
+    let t = (sa.mean() - sb.mean()) / denom;
+    // Welch–Satterthwaite equation.
+    let df = (va + vb).powi(2)
+        / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
+    let p = student_t_two_sided_p(t, df);
+    Some(WelchResult { t, df, p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_constant_samples_are_untestable() {
+        assert!(welch_t_test(&[1.0, 1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn too_few_samples() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn distinct_constants_are_maximally_significant() {
+        let r = welch_t_test(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(r.p, 0.0);
+        assert!(r.significant());
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // a = 1..5: mean 3, sample var 2.5; b = 2,4,..,10: mean 6, var 10.
+        // va = 0.5, vb = 2.0 -> t = -3 / sqrt(2.5) = -1.8974,
+        // df = 2.5^2 / (0.5^2/4 + 2^2/4) = 6.25 / 1.0625 = 5.8824.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!((r.t - (-3.0 / 2.5f64.sqrt())).abs() < 1e-12, "t = {}", r.t);
+        assert!((r.df - 6.25 / 1.0625).abs() < 1e-12, "df = {}", r.df);
+        // Two-sided p for |t| = 1.897 at ~5.9 df is just above 0.10.
+        assert!(r.p > 0.09 && r.p < 0.14, "p = {}", r.p);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn p_decreases_with_larger_separation() {
+        let base = [10.0, 11.0, 9.0, 10.5, 9.5];
+        let near: Vec<f64> = base.iter().map(|x| x + 1.0).collect();
+        let far: Vec<f64> = base.iter().map(|x| x + 5.0).collect();
+        let p_near = welch_t_test(&base, &near).unwrap().p;
+        let p_far = welch_t_test(&base, &far).unwrap().p;
+        assert!(p_far < p_near);
+    }
+
+    #[test]
+    fn clearly_separated_distributions() {
+        let a: Vec<f64> = (0..10).map(|i| 100.0 + i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..10).map(|i| 200.0 + i as f64 * 0.1).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.significant());
+        assert!(r.t < 0.0, "a has smaller mean so t is negative");
+    }
+
+    #[test]
+    fn overlapping_noise_is_insignificant() {
+        // Interleaved values drawn from the same arithmetic pattern.
+        let a: Vec<f64> = (0..10).map(|i| 10.0 + (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..10).map(|i| 10.0 + ((i + 2) % 5) as f64).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(!r.significant(), "p = {}", r.p);
+    }
+
+    #[test]
+    fn symmetry_in_argument_order() {
+        let a = [5.0, 6.0, 7.0, 8.0];
+        let b = [7.0, 8.0, 9.0, 11.0];
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r1.t + r2.t).abs() < 1e-12);
+        assert!((r1.p - r2.p).abs() < 1e-12);
+        assert!((r1.df - r2.df).abs() < 1e-12);
+    }
+}

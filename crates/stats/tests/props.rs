@@ -1,0 +1,109 @@
+//! Property-based tests for the statistics layer.
+
+use longlook_stats::beta::{incomplete_beta, student_t_two_sided_p};
+use longlook_stats::summary::{median, percentile};
+use longlook_stats::{welch_t_test, Comparison, Summary, Verdict};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford summary matches the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s = Summary::of(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.sample_variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging split summaries equals the bulk summary.
+    #[test]
+    fn summary_merge_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let k = cut.index(xs.len() - 1) + 1;
+        let mut a = Summary::of(&xs[..k]);
+        let b = Summary::of(&xs[k..]);
+        a.merge(&b);
+        let bulk = Summary::of(&xs);
+        prop_assert_eq!(a.count(), bulk.count());
+        prop_assert!((a.mean() - bulk.mean()).abs() < 1e-9 * (1.0 + bulk.mean().abs()));
+        prop_assert!(
+            (a.sample_variance() - bulk.sample_variance()).abs()
+                < 1e-6 * (1.0 + bulk.sample_variance())
+        );
+    }
+
+    /// p-values are probabilities, symmetric in argument order, and the
+    /// t statistics negate.
+    #[test]
+    fn welch_p_is_probability_and_symmetric(
+        a in proptest::collection::vec(0.0f64..1e4, 2..40),
+        b in proptest::collection::vec(0.0f64..1e4, 2..40),
+    ) {
+        if let (Some(r1), Some(r2)) = (welch_t_test(&a, &b), welch_t_test(&b, &a)) {
+            prop_assert!((0.0..=1.0).contains(&r1.p), "p = {}", r1.p);
+            prop_assert!((r1.t + r2.t).abs() < 1e-9 * (1.0 + r1.t.abs()));
+            prop_assert!((r1.p - r2.p).abs() < 1e-9);
+            prop_assert!(r1.df > 0.0);
+        }
+    }
+
+    /// Shifting one sample set away monotonically shrinks (or holds) the
+    /// p-value.
+    #[test]
+    fn p_shrinks_with_separation(
+        base in proptest::collection::vec(0.0f64..100.0, 3..30),
+        shift in 1.0f64..50.0,
+    ) {
+        let near: Vec<f64> = base.iter().map(|x| x + shift).collect();
+        let far: Vec<f64> = base.iter().map(|x| x + 10.0 * shift).collect();
+        if let (Some(rn), Some(rf)) = (welch_t_test(&base, &near), welch_t_test(&base, &far)) {
+            prop_assert!(rf.p <= rn.p + 1e-9, "{} > {}", rf.p, rn.p);
+        }
+    }
+
+    /// The incomplete beta is a CDF in x: monotone, 0 at 0, 1 at 1.
+    #[test]
+    fn incomplete_beta_is_cdf(a in 0.2f64..20.0, b in 0.2f64..20.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = incomplete_beta(a, b, lo);
+        let f_hi = incomplete_beta(a, b, hi);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f_lo));
+        prop_assert!(f_lo <= f_hi + 1e-9);
+    }
+
+    /// Student-t two-sided p decreases in |t| and increases toward 1 at 0.
+    #[test]
+    fn student_t_monotone(df in 1.0f64..100.0, t1 in 0.0f64..20.0, t2 in 0.0f64..20.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(
+            student_t_two_sided_p(hi, df) <= student_t_two_sided_p(lo, df) + 1e-9
+        );
+        prop_assert!((student_t_two_sided_p(0.0, df) - 1.0).abs() < 1e-9);
+    }
+
+    /// Percentiles lie within [min, max] and are monotone in the rank.
+    #[test]
+    fn percentiles_ordered(xs in proptest::collection::vec(-1e4f64..1e4, 1..80)) {
+        let p25 = percentile(&xs, 25.0);
+        let p50 = median(&xs);
+        let p75 = percentile(&xs, 75.0);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo <= p25 && p25 <= p50 && p50 <= p75 && p75 <= hi);
+    }
+
+    /// A comparison's verdict is never a win when the two sample sets are
+    /// identical.
+    #[test]
+    fn identical_samples_never_win(xs in proptest::collection::vec(1.0f64..1e4, 2..30)) {
+        let c = Comparison::lower_is_better(&xs, &xs);
+        prop_assert_eq!(c.verdict, Verdict::Inconclusive);
+        prop_assert!(c.percent.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,592 @@
+//! The TCP(+TLS+HTTP/2) connection state machine — the paper's baseline.
+//!
+//! Implements [`longlook_transport::Connection`] so workloads run
+//! unchanged over either protocol. Where QUIC saves round trips and
+//! sidesteps ambiguity, this model faithfully pays the costs:
+//!
+//! * 1 RTT of TCP handshake plus 1 RTT of TLS (False Start) before the
+//!   first request byte can leave;
+//! * Karn's algorithm: no RTT samples from retransmitted sequences;
+//! * delayed acks (every 2nd segment / 40 ms);
+//! * no tail loss probe — tail drops wait for the RTO;
+//! * a single ordered byte stream: HTTP/2 head-of-line blocking;
+//! * DSACK-adaptive dupthresh: TCP *tolerates* reordering QUIC cannot.
+
+use crate::h2::{H2Demux, H2Event, H2Mux};
+use crate::recv::TcpReceiver;
+use crate::scoreboard::Scoreboard;
+use crate::wire::{flags, TcpSegment};
+use bytes::Bytes;
+use longlook_sim::time::{Dur, Time};
+use longlook_transport::cc::CongestionControl;
+use longlook_transport::ccstate::{CcState, StateTracker, StateTrace};
+use longlook_transport::conn::{
+    AppEvent, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD,
+};
+use longlook_transport::cubic::{Cubic, CubicConfig};
+use longlook_transport::rtt::RttEstimator;
+use std::collections::VecDeque;
+
+/// TLS 1.2 handshake message sizes in stream bytes.
+mod tls {
+    /// ClientHello.
+    pub const CLIENT_HELLO: u64 = 350;
+    /// Client Finished (+ ChangeCipherSpec).
+    pub const CLIENT_FINISHED: u64 = 128;
+    /// Client handshake prefix.
+    pub const CLIENT_PREFIX: u64 = CLIENT_HELLO + CLIENT_FINISHED;
+    /// ServerHello + Certificate chain + ServerHelloDone.
+    pub const SERVER_HELLO: u64 = 3200;
+    /// Server Finished.
+    pub const SERVER_FINISHED: u64 = 64;
+    /// Server handshake prefix.
+    pub const SERVER_PREFIX: u64 = SERVER_HELLO + SERVER_FINISHED;
+}
+
+/// TCP configuration.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment payload size.
+    pub mss: u64,
+    /// Cubic parameters (Linux defaults).
+    pub cubic: CubicConfig,
+    /// Receive buffer / advertised window.
+    pub recv_buffer: u64,
+    /// Delayed-ack timeout (Linux delack min).
+    pub delayed_ack: Dur,
+    /// RTT assumed before the first sample.
+    pub initial_rtt: Dur,
+    /// Initial SYN retransmission timeout.
+    pub syn_rto: Dur,
+    /// Model TLS on top (HTTPS); disable for a raw-TCP proxy leg.
+    pub tls: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        let mss = 1400;
+        TcpConfig {
+            mss,
+            cubic: CubicConfig::linux_tcp(mss),
+            recv_buffer: 6 * 1024 * 1024,
+            delayed_ack: Dur::from_millis(40),
+            initial_rtt: Dur::from_millis(100),
+            syn_rto: Dur::from_secs(1),
+            tls: true,
+        }
+    }
+}
+
+/// TCP-level connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TcpState {
+    /// Client sent SYN.
+    SynSent,
+    /// Server awaiting SYN.
+    Listen,
+    /// Three-way handshake complete.
+    Open,
+}
+
+/// Which end we are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpRole {
+    /// Initiates the handshake.
+    Client,
+    /// Accepts it.
+    Server,
+}
+
+/// A TCP+TLS+HTTP/2 connection.
+pub struct TcpConnection {
+    cfg: TcpConfig,
+    role: TcpRole,
+    state: TcpState,
+    /// SYN needs (re)sending.
+    syn_pending: bool,
+    /// SYN-ACK needs sending (server).
+    synack_pending: bool,
+    syn_deadline: Option<Time>,
+    syn_retries: u32,
+
+    scoreboard: Scoreboard,
+    receiver: TcpReceiver,
+    rtt: RttEstimator,
+    cc: Box<dyn CongestionControl>,
+
+    mux: H2Mux,
+    demux: H2Demux,
+    /// Next fresh stream byte to transmit.
+    snd_nxt: u64,
+    /// Peer's advertised receive window.
+    peer_window: u64,
+    /// Next client-initiated h2 stream id.
+    next_stream_id: u32,
+
+    rto_deadline: Option<Time>,
+    rto_backoff: u32,
+    in_rto_state: bool,
+
+    tls_established: bool,
+    handshake_done_emitted: bool,
+    app_limited: bool,
+
+    events: VecDeque<AppEvent>,
+    stats: ConnStats,
+    cwnd_log: Vec<(Time, u64)>,
+    tracker: StateTracker,
+}
+
+impl TcpConnection {
+    /// Client endpoint; the SYN goes out on the first `poll_transmit`.
+    pub fn client(cfg: TcpConfig, now: Time) -> Self {
+        let mut c = Self::new_common(cfg, TcpRole::Client, now);
+        c.state = TcpState::SynSent;
+        c.syn_pending = true;
+        c
+    }
+
+    /// Server endpoint.
+    pub fn server(cfg: TcpConfig, now: Time) -> Self {
+        let mut c = Self::new_common(cfg, TcpRole::Server, now);
+        c.state = TcpState::Listen;
+        c
+    }
+
+    fn new_common(cfg: TcpConfig, role: TcpRole, now: Time) -> Self {
+        let (our_prefix, peer_prefix) = if cfg.tls {
+            match role {
+                TcpRole::Client => (tls::CLIENT_PREFIX, tls::SERVER_PREFIX),
+                TcpRole::Server => (tls::SERVER_PREFIX, tls::CLIENT_PREFIX),
+            }
+        } else {
+            (0, 0)
+        };
+        let cc: Box<dyn CongestionControl> = Box::new(Cubic::new(cfg.cubic.clone(), now));
+        TcpConnection {
+            rtt: RttEstimator::new(cfg.initial_rtt),
+            receiver: TcpReceiver::new(cfg.recv_buffer),
+            mux: H2Mux::new(our_prefix),
+            demux: H2Demux::new(peer_prefix),
+            peer_window: cfg.recv_buffer,
+            cfg,
+            role,
+            state: TcpState::Listen,
+            syn_pending: false,
+            synack_pending: false,
+            syn_deadline: None,
+            syn_retries: 0,
+            scoreboard: Scoreboard::new(),
+            cc,
+            snd_nxt: 0,
+            next_stream_id: 1,
+            rto_deadline: None,
+            rto_backoff: 0,
+            in_rto_state: false,
+            tls_established: false,
+            handshake_done_emitted: false,
+            app_limited: false,
+            events: VecDeque::new(),
+            stats: ConnStats::default(),
+            cwnd_log: vec![(now, 0)],
+            tracker: StateTracker::new(now, CcState::Init.label()),
+        }
+    }
+
+    /// Highest stream byte we are allowed to transmit right now, given the
+    /// TCP and TLS handshake state.
+    fn sendable_limit(&self) -> u64 {
+        if self.state != TcpState::Open {
+            return 0;
+        }
+        if !self.cfg.tls {
+            return u64::MAX;
+        }
+        let peer_bytes = self.receiver.rcv_nxt();
+        match self.role {
+            TcpRole::Client => {
+                if peer_bytes >= tls::SERVER_HELLO {
+                    // Got the ServerHello flight: finish + data (False Start).
+                    u64::MAX
+                } else {
+                    tls::CLIENT_HELLO
+                }
+            }
+            TcpRole::Server => {
+                if peer_bytes >= tls::CLIENT_PREFIX {
+                    u64::MAX
+                } else if peer_bytes >= tls::CLIENT_HELLO {
+                    tls::SERVER_HELLO
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    fn maybe_tls_established(&mut self, _now: Time) {
+        if self.tls_established {
+            return;
+        }
+        let done = if !self.cfg.tls {
+            self.state == TcpState::Open
+        } else {
+            let peer_bytes = self.receiver.rcv_nxt();
+            match self.role {
+                TcpRole::Client => peer_bytes >= tls::SERVER_HELLO,
+                TcpRole::Server => peer_bytes >= tls::CLIENT_PREFIX,
+            }
+        };
+        if done {
+            self.tls_established = true;
+            if !self.handshake_done_emitted {
+                self.handshake_done_emitted = true;
+                self.events.push_back(AppEvent::HandshakeDone);
+            }
+        }
+    }
+
+    fn log_cwnd(&mut self, now: Time) {
+        let cwnd = self.cc.cwnd();
+        self.stats.max_cwnd = self.stats.max_cwnd.max(cwnd);
+        if self.cwnd_log.last().map(|&(_, c)| c) != Some(cwnd) {
+            self.cwnd_log.push((now, cwnd));
+        }
+    }
+
+    fn update_state(&mut self, now: Time) {
+        let label = if !self.tls_established {
+            CcState::Init.label()
+        } else if self.in_rto_state {
+            CcState::RetransmissionTimeout.label()
+        } else {
+            let cc_label = self.cc.state_label(now);
+            if cc_label == CcState::Recovery.label() {
+                cc_label
+            } else if self.app_limited {
+                CcState::ApplicationLimited.label()
+            } else {
+                cc_label
+            }
+        };
+        self.tracker.set(now, label);
+    }
+
+    fn rearm_rto(&mut self, now: Time) {
+        if self.scoreboard.has_outstanding() {
+            let rto = self.rtt.rto().saturating_mul(1 << self.rto_backoff.min(6));
+            self.rto_deadline = Some(now + rto);
+        } else {
+            self.rto_deadline = None;
+        }
+    }
+
+    /// Emit one data segment covering `[seq, seq+len)`.
+    fn make_data_segment(&mut self, seq: u64, len: u32, now: Time) -> Transmit {
+        let (ack, window, sacks, dsack) = self.receiver.build_ack();
+        let records = self.mux.descs_in(seq, seq + len as u64);
+        let seg = TcpSegment {
+            seq,
+            ack,
+            flags: flags::ACK,
+            window,
+            payload_len: len,
+            sacks,
+            dsack,
+            records,
+        };
+        self.scoreboard.on_sent(seq, len, now);
+        self.cc
+            .on_packet_sent(now, len as u64, self.scoreboard.pipe());
+        self.rearm_rto(now);
+        let wire_size = seg.wire_size_payload() + TCP_OVERHEAD + 17 * seg.records.len() as u32;
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += wire_size as u64;
+        Transmit {
+            payload: seg.encode(),
+            wire_size,
+        }
+    }
+
+    fn make_control(&mut self, flag_bits: u8, now: Time) -> Transmit {
+        let (ack, window, sacks, dsack) = self.receiver.build_ack();
+        let seg = TcpSegment {
+            seq: 0,
+            ack,
+            flags: flag_bits,
+            window,
+            payload_len: 0,
+            sacks,
+            dsack,
+            records: Vec::new(),
+        };
+        let wire_size = seg.wire_size_payload() + TCP_OVERHEAD;
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += wire_size as u64;
+        if seg.is_bare_ack() {
+            self.stats.acks_sent += 1;
+        }
+        let _ = now;
+        Transmit {
+            payload: seg.encode(),
+            wire_size,
+        }
+    }
+
+    fn drain_h2_events(&mut self) {
+        let evs = self.demux.advance(self.receiver.rcv_nxt());
+        for e in evs {
+            match e {
+                H2Event::StreamOpened(s) => {
+                    self.events.push_back(AppEvent::StreamOpened(StreamId(s as u64)));
+                }
+                H2Event::StreamData { stream, bytes } => {
+                    self.events.push_back(AppEvent::StreamData {
+                        id: StreamId(stream as u64),
+                        bytes,
+                    });
+                }
+                H2Event::StreamFin(s) => {
+                    self.events.push_back(AppEvent::StreamFin(StreamId(s as u64)));
+                }
+            }
+        }
+    }
+
+    /// Current dupthresh (diagnostics; grows via DSACK).
+    pub fn dupthresh(&self) -> u32 {
+        self.scoreboard.dupthresh()
+    }
+}
+
+impl Connection for TcpConnection {
+    fn on_datagram(&mut self, payload: Bytes, now: Time) {
+        self.stats.packets_received += 1;
+        let seg = match TcpSegment::decode(payload) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+
+        // Handshake control.
+        if seg.flags & flags::SYN != 0 {
+            match (self.role, self.state) {
+                (TcpRole::Server, TcpState::Listen) => {
+                    self.state = TcpState::Open;
+                    self.synack_pending = true;
+                    self.maybe_tls_established(now);
+                }
+                (TcpRole::Server, TcpState::Open) => {
+                    // Duplicate SYN: our SYN-ACK was lost; resend.
+                    self.synack_pending = true;
+                }
+                (TcpRole::Client, TcpState::SynSent) if seg.flags & flags::ACK != 0 => {
+                    self.state = TcpState::Open;
+                    self.syn_deadline = None;
+                    let _ = self.syn_retries;
+                    self.maybe_tls_established(now);
+                }
+                _ => {}
+            }
+            self.update_state(now);
+            return;
+        }
+
+        self.peer_window = seg.window;
+
+        // Data path.
+        if seg.payload_len > 0 {
+            self.demux.on_descs(&seg.records);
+            let newly = self
+                .receiver
+                .on_segment(seg.seq, seg.payload_len, now, self.cfg.delayed_ack);
+            self.stats.bytes_received += seg.payload_len as u64;
+            if newly > 0 {
+                self.maybe_tls_established(now);
+                self.drain_h2_events();
+            }
+        }
+
+        // Ack path.
+        if seg.flags & flags::ACK != 0 && self.state == TcpState::Open {
+            let out = self
+                .scoreboard
+                .on_ack(now, seg.ack, &seg.sacks, seg.dsack, seg.payload_len > 0);
+            if let Some(sample) = out.rtt_sample {
+                self.rtt.on_sample(sample, Dur::ZERO);
+            }
+            if out.spurious {
+                self.stats.spurious_retransmissions += 1;
+            }
+            if out.newly_acked > 0 {
+                self.rto_backoff = 0;
+                self.in_rto_state = false;
+                self.stats.bytes_acked += out.newly_acked;
+                self.mux.prune(self.scoreboard.snd_una());
+            }
+            let delivered = out.newly_acked + out.newly_sacked;
+            if delivered > 0 {
+                self.cc.on_ack(
+                    now,
+                    out.newest_acked_sent_at.unwrap_or(now),
+                    delivered,
+                    &self.rtt,
+                    self.scoreboard.pipe(),
+                    self.app_limited,
+                );
+                self.rearm_rto(now);
+            }
+            if out.fast_retransmit {
+                self.stats.losses_detected += out.lost_ranges.len() as u64;
+                self.cc.on_congestion_event(
+                    now,
+                    out.lost_sent_at.unwrap_or(now),
+                    out.lost_ranges.iter().map(|&(_, l)| l as u64).sum(),
+                    self.scoreboard.pipe(),
+                );
+            }
+            self.log_cwnd(now);
+        }
+        self.update_state(now);
+    }
+
+    fn poll_transmit(&mut self, now: Time) -> Option<Transmit> {
+        // 1. TCP handshake control segments.
+        if self.syn_pending {
+            self.syn_pending = false;
+            self.syn_deadline = Some(now + self.cfg.syn_rto);
+            return Some(self.make_control(flags::SYN, now));
+        }
+        if self.synack_pending {
+            self.synack_pending = false;
+            return Some(self.make_control(flags::SYN | flags::ACK, now));
+        }
+        if self.state != TcpState::Open {
+            return None;
+        }
+
+        // 2. Retransmissions first (cc-gated via PRR/cwnd).
+        let lost = self.scoreboard.lost_ranges();
+        if let Some(&(seq, len)) = lost.first() {
+            if self.cc.can_send(self.scoreboard.pipe(), len as u64) {
+                self.stats.retransmissions += 1;
+                return Some(self.make_data_segment(seq, len, now));
+            }
+        }
+
+        // 3. Fresh data.
+        let limit = self.sendable_limit().min(self.mux.stream_len());
+        let rwnd_edge = self.scoreboard.snd_una() + self.peer_window;
+        if self.snd_nxt < limit && self.snd_nxt < rwnd_edge {
+            let len = (limit - self.snd_nxt)
+                .min(self.cfg.mss)
+                .min(rwnd_edge - self.snd_nxt) as u32;
+            if len > 0 && self.cc.can_send(self.scoreboard.pipe(), len as u64) {
+                let seq = self.snd_nxt;
+                self.snd_nxt += len as u64;
+                self.app_limited = false;
+                let seg = self.make_data_segment(seq, len, now);
+                self.update_state(now);
+                return Some(seg);
+            }
+        }
+        // Application-limited bookkeeping: window open but no data.
+        let have_data = self.snd_nxt < self.mux.stream_len().min(self.sendable_limit());
+        self.app_limited = self.tls_established
+            && !have_data
+            && self.cc.can_send(self.scoreboard.pipe(), self.cfg.mss)
+            && self.scoreboard.pipe() < self.cc.cwnd();
+
+        // 4. Bare ack if one is due.
+        if self.receiver.ack_due(now) {
+            let t = self.make_control(flags::ACK, now);
+            self.update_state(now);
+            return Some(t);
+        }
+        self.update_state(now);
+        None
+    }
+
+    fn next_wakeup(&self) -> Option<Time> {
+        let mut t: Option<Time> = None;
+        let mut consider = |cand: Option<Time>| {
+            if let Some(c) = cand {
+                t = Some(match t {
+                    Some(cur) if cur <= c => cur,
+                    _ => c,
+                });
+            }
+        };
+        consider(self.rto_deadline);
+        consider(self.syn_deadline);
+        consider(self.receiver.deadline());
+        t
+    }
+
+    fn on_wakeup(&mut self, now: Time) {
+        if let Some(d) = self.syn_deadline {
+            if now >= d && self.state == TcpState::SynSent {
+                self.syn_pending = true;
+                self.syn_retries += 1;
+                self.syn_deadline = Some(now + self.cfg.syn_rto.saturating_mul(2));
+            }
+        }
+        if let Some(d) = self.rto_deadline {
+            if now >= d && self.scoreboard.has_outstanding() {
+                self.stats.rto_count += 1;
+                self.in_rto_state = true;
+                self.scoreboard.mark_all_lost();
+                self.cc.on_rto(now);
+                self.rto_backoff += 1;
+                self.rearm_rto(now);
+                self.log_cwnd(now);
+            } else if now >= d {
+                self.rto_deadline = None;
+            }
+        }
+        self.update_state(now);
+    }
+
+    fn open_stream(&mut self, _now: Time) -> Option<StreamId> {
+        // h2 allows effectively unlimited concurrent streams for our
+        // workloads (Chrome's default is 100-1000); no MSPC pathology.
+        let id = self.next_stream_id;
+        self.next_stream_id += 2;
+        Some(StreamId(id as u64))
+    }
+
+    fn stream_send(&mut self, _now: Time, id: StreamId, bytes: u64, fin: bool) {
+        debug_assert!(bytes <= u32::MAX as u64, "single h2 record cap");
+        self.mux.push_record(id.0 as u32, bytes as u32, fin);
+        self.app_limited = false;
+    }
+
+    fn poll_event(&mut self) -> Option<AppEvent> {
+        self.events.pop_front()
+    }
+
+    fn is_established(&self) -> bool {
+        self.tls_established
+    }
+
+    fn is_quiescent(&self) -> bool {
+        !self.scoreboard.has_outstanding()
+            && self.snd_nxt >= self.mux.stream_len().min(self.sendable_limit())
+            && self.scoreboard.lost_ranges().is_empty()
+    }
+
+    fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    fn cwnd_timeline(&self) -> &[(Time, u64)] {
+        &self.cwnd_log
+    }
+
+    fn state_trace(&self, now: Time) -> StateTrace {
+        self.tracker.finish(now)
+    }
+
+    fn srtt(&self) -> Dur {
+        self.rtt.srtt()
+    }
+}

@@ -1,0 +1,290 @@
+//! TCP + TLS + HTTP/2: the baseline stack the paper compares QUIC against.
+//!
+//! "Throughout this paper we refer to such measurements that include
+//! HTTP/2+TLS+TCP as 'TCP'." — Sec 3.1. This crate models that stack as a
+//! sans-IO state machine: Linux-style Cubic, SACK/DSACK loss recovery with
+//! an adaptive dupthresh, Karn-compliant RTT estimation, delayed acks, a
+//! TLS 1.2 (False Start) handshake latency model, and HTTP/2 record
+//! multiplexing over the ordered byte stream — head-of-line blocking
+//! included.
+
+pub mod connection;
+pub mod h2;
+pub mod recv;
+pub mod scoreboard;
+pub mod wire;
+
+pub use connection::{TcpConfig, TcpConnection, TcpRole};
+pub use h2::{H2Demux, H2Event, H2Mux, RECORD_HEADER};
+pub use scoreboard::{Scoreboard, TcpAckOutcome};
+pub use wire::{flags, RecordDesc, TcpSegment, TcpWireError};
+
+#[cfg(test)]
+mod loopback_tests {
+    //! Client/server pair over an in-memory delayed pipe (mirrors the
+    //! QUIC crate's loopback harness).
+
+    use crate::{TcpConfig, TcpConnection};
+    use longlook_sim::time::{Dur, Time};
+    use longlook_transport::conn::{AppEvent, Connection, StreamId};
+    use std::collections::VecDeque;
+
+    const OWD: Dur = Dur::from_millis(18); // 36ms RTT
+
+    struct Pipe {
+        a_to_b: VecDeque<(Time, bytes::Bytes)>,
+        b_to_a: VecDeque<(Time, bytes::Bytes)>,
+        drop_a_to_b: Vec<u64>,
+        drop_b_to_a: Vec<u64>,
+        sent_ab: u64,
+        sent_ba: u64,
+    }
+
+    impl Pipe {
+        fn new() -> Self {
+            Pipe {
+                a_to_b: VecDeque::new(),
+                b_to_a: VecDeque::new(),
+                drop_a_to_b: Vec::new(),
+                drop_b_to_a: Vec::new(),
+                sent_ab: 0,
+                sent_ba: 0,
+            }
+        }
+    }
+
+    fn run(
+        a: &mut TcpConnection,
+        b: &mut TcpConnection,
+        pipe: &mut Pipe,
+        start: Time,
+        deadline: Time,
+    ) -> (Vec<AppEvent>, Vec<AppEvent>) {
+        let mut now = start;
+        let mut ev_a = Vec::new();
+        let mut ev_b = Vec::new();
+        loop {
+            while let Some(tx) = a.poll_transmit(now) {
+                let dropped = pipe.drop_a_to_b.contains(&pipe.sent_ab);
+                pipe.sent_ab += 1;
+                if !dropped {
+                    pipe.a_to_b.push_back((now + OWD, tx.payload));
+                }
+            }
+            while let Some(tx) = b.poll_transmit(now) {
+                let dropped = pipe.drop_b_to_a.contains(&pipe.sent_ba);
+                pipe.sent_ba += 1;
+                if !dropped {
+                    pipe.b_to_a.push_back((now + OWD, tx.payload));
+                }
+            }
+            while let Some(e) = a.poll_event() {
+                ev_a.push(e);
+            }
+            while let Some(e) = b.poll_event() {
+                ev_b.push(e);
+            }
+            let mut next: Option<Time> = None;
+            let mut consider = |t: Option<Time>| {
+                if let Some(t) = t {
+                    next = Some(next.map_or(t, |n: Time| n.min(t)));
+                }
+            };
+            consider(pipe.a_to_b.front().map(|&(t, _)| t));
+            consider(pipe.b_to_a.front().map(|&(t, _)| t));
+            consider(a.next_wakeup());
+            consider(b.next_wakeup());
+            let Some(next) = next else { break };
+            if next > deadline {
+                break;
+            }
+            now = now.max(next);
+            while pipe.a_to_b.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, p) = pipe.a_to_b.pop_front().expect("checked");
+                b.on_datagram(p, now);
+            }
+            while pipe.b_to_a.front().is_some_and(|&(t, _)| t <= now) {
+                let (_, p) = pipe.b_to_a.pop_front().expect("checked");
+                a.on_datagram(p, now);
+            }
+            a.on_wakeup(now);
+            b.on_wakeup(now);
+        }
+        (ev_a, ev_b)
+    }
+
+    fn pair() -> (TcpConnection, TcpConnection) {
+        let cfg = TcpConfig::default();
+        (
+            TcpConnection::client(cfg.clone(), Time::ZERO),
+            TcpConnection::server(cfg, Time::ZERO),
+        )
+    }
+
+    fn total_bytes(events: &[AppEvent], id: StreamId) -> u64 {
+        events
+            .iter()
+            .map(|e| match e {
+                AppEvent::StreamData { id: i, bytes } if *i == id => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn handshake_takes_two_rtts_with_tls() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        let (ev_c, _) = run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(3));
+        assert!(c.is_established());
+        assert!(s.is_established());
+        assert!(ev_c.contains(&AppEvent::HandshakeDone));
+        // TCP HS (1 RTT) + CH->SH (1 RTT): client established at ~2 RTT.
+        // We can't read the exact instant here, but the trace shows Init
+        // until establishment; checked in the http-level tests.
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        let now = Time::ZERO + Dur::from_secs(1);
+        let id = c.open_stream(now).expect("stream");
+        c.stream_send(now, id, 250, true);
+        let (_, ev_s) = run(&mut c, &mut s, &mut pipe, now, now + Dur::from_secs(2));
+        assert_eq!(total_bytes(&ev_s, id), 250);
+        assert!(ev_s.contains(&AppEvent::StreamOpened(id)));
+        assert!(ev_s.contains(&AppEvent::StreamFin(id)));
+        // Server responds.
+        let now2 = now + Dur::from_secs(2);
+        s.stream_send(now2, id, 100_000, true);
+        let (ev_c, _) = run(&mut c, &mut s, &mut pipe, now2, now2 + Dur::from_secs(10));
+        assert_eq!(total_bytes(&ev_c, id), 100_000);
+        assert!(ev_c.contains(&AppEvent::StreamFin(id)));
+    }
+
+    #[test]
+    fn bulk_transfer_completes_without_loss() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        let now = Time::ZERO + Dur::from_secs(1);
+        let id = c.open_stream(now).expect("stream");
+        c.stream_send(now, id, 100, true);
+        run(&mut c, &mut s, &mut pipe, now, now + Dur::from_secs(1));
+        let now2 = now + Dur::from_secs(1);
+        s.stream_send(now2, id, 3_000_000, true);
+        let (ev_c, _) = run(&mut c, &mut s, &mut pipe, now2, now2 + Dur::from_secs(60));
+        assert_eq!(total_bytes(&ev_c, id), 3_000_000);
+        let st = s.stats();
+        assert_eq!(st.losses_detected, 0);
+        assert_eq!(st.rto_count, 0);
+        assert!(s.is_quiescent());
+    }
+
+    #[test]
+    fn fast_retransmit_recovers_mid_stream_loss() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        let now = Time::ZERO + Dur::from_secs(1);
+        let id = c.open_stream(now).expect("stream");
+        c.stream_send(now, id, 100, true);
+        run(&mut c, &mut s, &mut pipe, now, now + Dur::from_secs(1));
+        let now2 = now + Dur::from_secs(1);
+        s.stream_send(now2, id, 500_000, true);
+        // Drop one server data segment early in the burst.
+        pipe.drop_b_to_a = vec![pipe.sent_ba + 4];
+        let (ev_c, _) = run(&mut c, &mut s, &mut pipe, now2, now2 + Dur::from_secs(60));
+        assert_eq!(total_bytes(&ev_c, id), 500_000, "loss recovered");
+        let st = s.stats();
+        assert!(st.losses_detected >= 1);
+        assert!(st.retransmissions >= 1);
+    }
+
+    #[test]
+    fn tail_loss_needs_rto_without_tlp() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        let now = Time::ZERO + Dur::from_secs(1);
+        let id = c.open_stream(now).expect("stream");
+        c.stream_send(now, id, 100, true);
+        run(&mut c, &mut s, &mut pipe, now, now + Dur::from_secs(1));
+        let now2 = now + Dur::from_secs(1);
+        s.stream_send(now2, id, 3 * 1400, true);
+        // Drop the last data segment of the response flight.
+        pipe.drop_b_to_a = vec![pipe.sent_ba + 2];
+        let (ev_c, _) = run(&mut c, &mut s, &mut pipe, now2, now2 + Dur::from_secs(30));
+        assert_eq!(total_bytes(&ev_c, id), 3 * 1400);
+        assert!(s.stats().rto_count >= 1, "no TLP: the tail waits for RTO");
+    }
+
+    #[test]
+    fn syn_loss_is_retried() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        pipe.drop_a_to_b = vec![0]; // drop the first SYN
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(5));
+        assert!(c.is_established(), "SYN retransmitted after syn_rto");
+    }
+
+    #[test]
+    fn multiplexed_streams_share_the_connection() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        let now = Time::ZERO + Dur::from_secs(1);
+        let id1 = c.open_stream(now).expect("s1");
+        let id2 = c.open_stream(now).expect("s2");
+        assert_ne!(id1, id2);
+        c.stream_send(now, id1, 100, true);
+        c.stream_send(now, id2, 100, true);
+        run(&mut c, &mut s, &mut pipe, now, now + Dur::from_secs(1));
+        let now2 = now + Dur::from_secs(1);
+        s.stream_send(now2, id1, 40_000, true);
+        s.stream_send(now2, id2, 40_000, true);
+        let (ev_c, _) = run(&mut c, &mut s, &mut pipe, now2, now2 + Dur::from_secs(20));
+        assert_eq!(total_bytes(&ev_c, id1), 40_000);
+        assert_eq!(total_bytes(&ev_c, id2), 40_000);
+        assert!(ev_c.contains(&AppEvent::StreamFin(id1)));
+        assert!(ev_c.contains(&AppEvent::StreamFin(id2)));
+    }
+
+    #[test]
+    fn no_tls_mode_establishes_after_syn() {
+        let mut cfg = TcpConfig::default();
+        cfg.tls = false;
+        let mut c = TcpConnection::client(cfg.clone(), Time::ZERO);
+        let mut s = TcpConnection::server(cfg, Time::ZERO);
+        let mut pipe = Pipe::new();
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_millis(200));
+        assert!(c.is_established());
+        assert!(s.is_established());
+    }
+
+    #[test]
+    fn srtt_converges() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        let now = Time::ZERO + Dur::from_secs(1);
+        let id = c.open_stream(now).expect("stream");
+        c.stream_send(now, id, 100, true);
+        run(&mut c, &mut s, &mut pipe, now, now + Dur::from_secs(1));
+        s.stream_send(now + Dur::from_secs(1), id, 2_000_000, true);
+        run(&mut c, &mut s, &mut pipe, now + Dur::from_secs(1), now + Dur::from_secs(40));
+        let srtt = s.srtt().as_millis_f64();
+        assert!((srtt - 36.0).abs() < 10.0, "srtt = {srtt}ms");
+    }
+
+    #[test]
+    fn state_trace_starts_in_init() {
+        let (mut c, mut s) = pair();
+        let mut pipe = Pipe::new();
+        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        let trace = s.state_trace(Time::ZERO + Dur::from_secs(1));
+        assert_eq!(trace.labels()[0], "Init");
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the TCP wire format, receive reassembly, and
+//! the h2 record layer.
+
+use bytes::Bytes;
+use longlook_sim::time::{Dur, Time};
+use longlook_tcp::h2::{H2Demux, H2Event, H2Mux};
+use longlook_tcp::recv::TcpReceiver;
+use longlook_tcp::wire::{flags, RecordDesc, TcpSegment};
+use proptest::prelude::*;
+
+proptest! {
+    /// Segment encode/decode is the identity.
+    #[test]
+    fn segment_roundtrip(
+        seq in any::<u64>(),
+        ack in any::<u64>(),
+        fl in 0u8..8,
+        window in any::<u64>(),
+        payload_len in any::<u32>(),
+        raw_sacks in proptest::collection::vec((any::<u32>(), 1u32..1000), 0..5),
+        dsack in any::<bool>(),
+        records in proptest::collection::vec(
+            (any::<u64>(), any::<u32>(), any::<u32>(), any::<bool>()),
+            0..6
+        ),
+    ) {
+        let seg = TcpSegment {
+            seq,
+            ack,
+            flags: fl,
+            window,
+            payload_len,
+            sacks: raw_sacks
+                .into_iter()
+                .map(|(s, l)| (s as u64, s as u64 + l as u64))
+                .collect(),
+            dsack: dsack && true,
+            records: records
+                .into_iter()
+                .map(|(offset, stream, len, fin)| RecordDesc {
+                    offset,
+                    stream,
+                    len,
+                    fin,
+                })
+                .collect(),
+        };
+        let dec = TcpSegment::decode(seg.encode()).expect("roundtrip");
+        prop_assert_eq!(dec, seg);
+    }
+
+    /// Decoding garbage never panics.
+    #[test]
+    fn decode_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = TcpSegment::decode(Bytes::from(data));
+    }
+
+    /// rcv_nxt always equals the longest contiguous prefix received.
+    #[test]
+    fn receiver_tracks_contiguous_prefix(
+        mut segs in proptest::collection::vec((0u64..20, 1u64..6), 1..30),
+        shuffle in any::<u64>(),
+    ) {
+        // Segments on a 1000-byte grid so they don't split.
+        let mut s = shuffle;
+        for i in (1..segs.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            segs.swap(i, j);
+        }
+        let mut r = TcpReceiver::new(1 << 24);
+        for (i, &(slot, len)) in segs.iter().enumerate() {
+            r.on_segment(
+                slot * 1000,
+                (len * 1000).min(6000) as u32,
+                Time::ZERO + Dur::from_millis(i as u64),
+                Dur::from_millis(40),
+            );
+        }
+        // Expected prefix from the union of intervals.
+        let mut intervals: Vec<(u64, u64)> = segs
+            .iter()
+            .map(|&(slot, len)| (slot * 1000, slot * 1000 + (len * 1000).min(6000)))
+            .collect();
+        intervals.sort_unstable();
+        let mut reach = 0u64;
+        for (a, b) in intervals {
+            if a <= reach {
+                reach = reach.max(b);
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(r.rcv_nxt(), reach);
+    }
+
+    /// Ack fields are internally consistent: sack blocks are valid ranges
+    /// above rcv_nxt (DSACK blocks may be below).
+    #[test]
+    fn ack_fields_wellformed(
+        segs in proptest::collection::vec((0u64..30, 1u64..4), 1..25),
+    ) {
+        let mut r = TcpReceiver::new(1 << 24);
+        for (i, &(slot, len)) in segs.iter().enumerate() {
+            r.on_segment(
+                slot * 1000,
+                (len * 1000) as u32,
+                Time::ZERO + Dur::from_millis(i as u64),
+                Dur::from_millis(40),
+            );
+        }
+        let (ack, window, sacks, dsack) = r.build_ack();
+        prop_assert!(window <= 1 << 24);
+        let plain = if dsack { &sacks[1.min(sacks.len())..] } else { &sacks[..] };
+        for &(s, e) in plain {
+            prop_assert!(s < e);
+            prop_assert!(e > ack, "plain SACK block below the cumulative ack");
+        }
+    }
+
+    /// h2 mux/demux: random record sets reconstruct exactly, regardless of
+    /// how the descriptor announcements are batched.
+    #[test]
+    fn h2_records_reconstruct(
+        recs in proptest::collection::vec((1u32..50, 0u32..5000, any::<bool>()), 1..20),
+    ) {
+        let mut mux = H2Mux::new(0);
+        for &(stream, len, fin) in &recs {
+            mux.push_record(stream * 2 + 1, len, fin);
+        }
+        let total = mux.stream_len();
+        let mut demux = H2Demux::new(0);
+        demux.on_descs(&mux.descs_in(0, total));
+        let events = demux.advance(total);
+        // Total payload delivered matches; every fin surfaced.
+        let delivered: u64 = events
+            .iter()
+            .map(|e| match e {
+                H2Event::StreamData { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum();
+        let expected: u64 = recs.iter().map(|&(_, len, _)| len as u64).sum();
+        prop_assert_eq!(delivered, expected);
+        let fins = events
+            .iter()
+            .filter(|e| matches!(e, H2Event::StreamFin(_)))
+            .count();
+        // Multiple fins on the same stream id are possible when the same
+        // stream id repeats with fin; count record-level fins that end a
+        // not-yet-finished stream is complex — just check at least one fin
+        // per distinct finishing stream.
+        let distinct_fin_streams: std::collections::BTreeSet<u32> = recs
+            .iter()
+            .filter(|&&(_, _, fin)| fin)
+            .map(|&(s, _, _)| s * 2 + 1)
+            .collect();
+        prop_assert!(fins >= distinct_fin_streams.len());
+    }
+
+    /// Demux delivers the same totals no matter where the byte stream is
+    /// split (head-of-line consistency).
+    #[test]
+    fn h2_partial_advance_is_lossless(
+        recs in proptest::collection::vec((1u32..20, 1u32..2000), 1..10),
+        cut in any::<u64>(),
+    ) {
+        let mut mux = H2Mux::new(0);
+        for &(stream, len) in &recs {
+            mux.push_record(stream * 2 + 1, len, false);
+        }
+        let total = mux.stream_len();
+        let cut = cut % total.max(1);
+
+        let mut one = H2Demux::new(0);
+        one.on_descs(&mux.descs_in(0, total));
+        let all_at_once: u64 = one
+            .advance(total)
+            .iter()
+            .map(|e| match e {
+                H2Event::StreamData { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum();
+
+        let mut two = H2Demux::new(0);
+        two.on_descs(&mux.descs_in(0, total));
+        let mut split_total = 0u64;
+        for stage in [cut, total] {
+            split_total += two
+                .advance(stage)
+                .iter()
+                .map(|e| match e {
+                    H2Event::StreamData { bytes, .. } => *bytes,
+                    _ => 0,
+                })
+                .sum::<u64>();
+        }
+        prop_assert_eq!(all_at_once, split_total);
+    }
+
+    /// Control segments always roundtrip (SYN, ACK, FIN combos).
+    #[test]
+    fn control_segments_roundtrip(fl in 0u8..8, window in any::<u64>()) {
+        let seg = TcpSegment::control(0, 0, fl, window);
+        prop_assert_eq!(TcpSegment::decode(seg.encode()).expect("ok"), seg.clone());
+        let expect_bare = seg.payload_len == 0 && fl & (flags::SYN | flags::FIN) == 0;
+        prop_assert_eq!(seg.is_bare_ack(), expect_bare);
+    }
+}

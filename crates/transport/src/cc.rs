@@ -1,0 +1,92 @@
+//! The congestion-control interface shared by Cubic and BBR.
+//!
+//! All quantities are in bytes; time comes from the simulation clock. The
+//! trait is deliberately close to gQUIC's `SendAlgorithmInterface` so the
+//! QUIC and TCP connection models drive it identically and differences
+//! between the protocols come from *their* machinery (ack ambiguity, loss
+//! detection, delayed acks), not from divergent CC plumbing.
+
+use crate::rtt::RttEstimator;
+use longlook_sim::time::Time;
+
+/// Coarse phase used for state-trace labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcPhase {
+    /// Exponential growth below ssthresh.
+    SlowStart,
+    /// Cubic/Reno window growth.
+    CongestionAvoidance,
+    /// Clamped at the maximum allowed congestion window (QUIC's MACW).
+    CaMaxed,
+    /// Fast recovery (PRR) in progress.
+    Recovery,
+}
+
+/// A pluggable congestion controller.
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// A packet carrying `bytes` left the sender; `in_flight_after`
+    /// includes it.
+    fn on_packet_sent(&mut self, now: Time, bytes: u64, in_flight_after: u64);
+
+    /// Newly acked bytes. `newest_acked_sent_at` is the send time of the
+    /// most recent packet covered by this ack (round/recovery epoch
+    /// bookkeeping); `app_limited` reports whether the sender was unable
+    /// to fill the window when the acked data was sent.
+    fn on_ack(
+        &mut self,
+        now: Time,
+        newest_acked_sent_at: Time,
+        acked_bytes: u64,
+        rtt: &RttEstimator,
+        in_flight: u64,
+        app_limited: bool,
+    );
+
+    /// A loss was detected for a packet sent at `lost_sent_at`. The
+    /// controller decides whether this starts a new recovery epoch.
+    fn on_congestion_event(
+        &mut self,
+        now: Time,
+        lost_sent_at: Time,
+        lost_bytes: u64,
+        in_flight: u64,
+    );
+
+    /// The retransmission timer fired.
+    fn on_rto(&mut self, now: Time);
+
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> u64;
+
+    /// Current slow-start threshold in bytes (`u64::MAX` when unset).
+    fn ssthresh(&self) -> u64;
+
+    /// Whether a packet of `bytes` may be sent with `in_flight` bytes
+    /// outstanding (congestion window plus any recovery rate gate).
+    fn can_send(&self, in_flight: u64, bytes: u64) -> bool;
+
+    /// Whether the given send time falls inside the current recovery
+    /// epoch (losses there don't trigger another reduction).
+    fn in_recovery(&self, sent_at: Time) -> bool;
+
+    /// Current phase for state labelling.
+    fn phase(&self, now: Time) -> CcPhase;
+
+    /// Pacing rate in bits/sec (callers may ignore if pacing disabled).
+    fn pacing_rate_bps(&self, rtt: &RttEstimator) -> f64;
+
+    /// Human-readable label of the current state for trace logging. For
+    /// Cubic this maps phases onto the paper's Table 3 labels; BBR reports
+    /// its own four states (Fig 3b).
+    fn state_label(&self, now: Time) -> &'static str;
+
+    /// Whether the connection should overlay its own states (Init,
+    /// ApplicationLimited, RTO, TailLossProbe) on top of the controller's
+    /// labels. True for Cubic (Fig 3a), false for BBR (Fig 3b).
+    fn overlay_connection_states(&self) -> bool {
+        true
+    }
+
+    /// Controller name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,162 @@
+//! The sans-IO connection abstraction shared by the QUIC and TCP models.
+//!
+//! A [`Connection`] is a pure state machine: the host agent feeds it
+//! datagrams and wakeups and drains transmissions — the smoltcp idiom. The
+//! application layers (`longlook-http`, `longlook-video`, the proxies)
+//! program against this trait only, so every workload runs unchanged over
+//! either protocol.
+
+use crate::ccstate::StateTrace;
+use bytes::Bytes;
+use longlook_sim::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Ethernet + IP + UDP framing overhead charged per QUIC datagram.
+pub const UDP_OVERHEAD: u32 = 42;
+/// Ethernet + IP + TCP framing overhead charged per segment (no options).
+pub const TCP_OVERHEAD: u32 = 54;
+
+/// Stream identifier. Stream 0 is reserved by both protocol models for
+/// handshake/control; applications get ids from
+/// [`Connection::open_stream`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct StreamId(pub u64);
+
+/// Events surfaced to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppEvent {
+    /// The connection is established; streams may be opened.
+    HandshakeDone,
+    /// The peer opened a stream.
+    StreamOpened(StreamId),
+    /// In-order bytes became readable on a stream (synthetic count).
+    StreamData {
+        /// Which stream.
+        id: StreamId,
+        /// How many new in-order bytes.
+        bytes: u64,
+    },
+    /// A stream finished: all data up to FIN delivered.
+    StreamFin(StreamId),
+}
+
+/// An encoded datagram/segment ready for the wire.
+#[derive(Debug, Clone)]
+pub struct Transmit {
+    /// Encoded protocol control bytes (headers + frames).
+    pub payload: Bytes,
+    /// Total on-the-wire size including framing overhead and synthetic
+    /// payload bytes.
+    pub wire_size: u32,
+}
+
+/// Counters every connection maintains.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ConnStats {
+    /// Packets/segments sent (all kinds).
+    pub packets_sent: u64,
+    /// Packets/segments received.
+    pub packets_received: u64,
+    /// Wire bytes sent.
+    pub bytes_sent: u64,
+    /// Wire bytes received.
+    pub bytes_received: u64,
+    /// Application payload bytes delivered in order to the peer
+    /// (sender-side view: acked payload bytes).
+    pub bytes_acked: u64,
+    /// Data retransmissions.
+    pub retransmissions: u64,
+    /// Retransmissions later proven unnecessary (the original arrived).
+    pub spurious_retransmissions: u64,
+    /// Losses declared by fast-retransmit style detection.
+    pub losses_detected: u64,
+    /// Retransmission timeouts fired.
+    pub rto_count: u64,
+    /// Tail loss probes fired.
+    pub tlp_count: u64,
+    /// Pure ack packets sent.
+    pub acks_sent: u64,
+    /// Largest congestion window observed (bytes).
+    pub max_cwnd: u64,
+}
+
+/// A transport connection as seen by the host agent and application.
+pub trait Connection {
+    /// Ingest one datagram/segment from the wire.
+    fn on_datagram(&mut self, payload: Bytes, now: Time);
+
+    /// Produce the next datagram/segment to put on the wire, if any is
+    /// ready (congestion window, pacing and flow control permitting).
+    fn poll_transmit(&mut self, now: Time) -> Option<Transmit>;
+
+    /// Earliest instant at which a timer (RTO, TLP, pacing release, delayed
+    /// ack) needs service.
+    fn next_wakeup(&self) -> Option<Time>;
+
+    /// Service timers at `now`.
+    fn on_wakeup(&mut self, now: Time);
+
+    /// Open a new application stream; `None` if the concurrent-stream
+    /// limit is reached (QUIC's MSPC) or the connection is not ready.
+    fn open_stream(&mut self, now: Time) -> Option<StreamId>;
+
+    /// Queue `bytes` of application data (synthetic) on a stream,
+    /// optionally finishing it.
+    fn stream_send(&mut self, now: Time, id: StreamId, bytes: u64, fin: bool);
+
+    /// Drain the next application event.
+    fn poll_event(&mut self) -> Option<AppEvent>;
+
+    /// Whether the handshake has completed.
+    fn is_established(&self) -> bool;
+
+    /// Whether the connection has nothing left to send or retransmit.
+    fn is_quiescent(&self) -> bool;
+
+    /// Counters.
+    fn stats(&self) -> ConnStats;
+
+    /// Congestion window over time, `(t, cwnd_bytes)` per change.
+    fn cwnd_timeline(&self) -> &[(Time, u64)];
+
+    /// Finalize and return the congestion-control state trace.
+    fn state_trace(&self, now: Time) -> StateTrace;
+
+    /// Current smoothed RTT estimate (for reporting).
+    fn srtt(&self) -> longlook_sim::time::Dur;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_realistic() {
+        // UDP framing is 14 (eth) + 20 (ip) + 8 (udp).
+        assert_eq!(UDP_OVERHEAD, 42);
+        // TCP framing is 14 + 20 + 20.
+        assert_eq!(TCP_OVERHEAD, 54);
+    }
+
+    #[test]
+    fn stream_ids_order() {
+        assert!(StreamId(3) < StreamId(5));
+    }
+
+    #[test]
+    fn app_event_equality() {
+        assert_eq!(
+            AppEvent::StreamData {
+                id: StreamId(1),
+                bytes: 10
+            },
+            AppEvent::StreamData {
+                id: StreamId(1),
+                bytes: 10
+            }
+        );
+        assert_ne!(AppEvent::HandshakeDone, AppEvent::StreamFin(StreamId(1)));
+    }
+}

@@ -1,0 +1,176 @@
+//! Hybrid Slow Start (Ha & Rhee), as implemented in gQUIC.
+//!
+//! HyStart exits slow start *before* the first loss when the minimum RTT
+//! observed in the current round rises measurably above the previous
+//! round's minimum — a sign the bottleneck queue is filling. The paper's
+//! root-cause analysis (Sec 5.2) found this is exactly why QUIC performs
+//! poorly with large numbers of small objects: multiplexing many streams
+//! at once bursts the queue, inflates the round-min RTT, and triggers an
+//! early exit that leaves the window far below the BDP.
+
+use longlook_sim::time::{Dur, Time};
+
+/// Minimum RTT samples per round before an exit decision may be made
+/// (gQUIC's `kHybridStartMinSamples`).
+const MIN_SAMPLES: u32 = 8;
+/// Exit threshold divisor: the round minimum must exceed the previous
+/// round's by `min_rtt / 8`, clamped to the window below (gQUIC's
+/// `kHybridStartDelayFactorExp` and clamp constants).
+const DELAY_MIN_THRESHOLD: Dur = Dur::from_millis(4);
+const DELAY_MAX_THRESHOLD: Dur = Dur::from_millis(16);
+
+/// Delay-increase HyStart detector.
+#[derive(Debug, Clone)]
+pub struct HyStart {
+    /// Wall-clock marker: the current round ends when data sent at or
+    /// after this instant is acked.
+    round_marker: Time,
+    /// Min RTT among the first [`MIN_SAMPLES`] samples of this round.
+    round_min: Dur,
+    samples_this_round: u32,
+    /// Previous round's minimum.
+    last_round_min: Option<Dur>,
+    /// Latched exit decision.
+    exit_signalled: bool,
+}
+
+impl HyStart {
+    /// Start detection at connection establishment.
+    pub fn new(now: Time) -> Self {
+        HyStart {
+            round_marker: now,
+            round_min: Dur::MAX,
+            samples_this_round: 0,
+            last_round_min: None,
+            exit_signalled: false,
+        }
+    }
+
+    /// Feed an ack; returns `true` when slow start should end now.
+    ///
+    /// `newest_acked_sent_at` is the send time of the newest packet this
+    /// ack covers; `latest_rtt` is the corresponding sample.
+    pub fn on_ack(&mut self, now: Time, newest_acked_sent_at: Time, latest_rtt: Dur) -> bool {
+        if self.exit_signalled {
+            return true;
+        }
+        if self.samples_this_round < MIN_SAMPLES {
+            self.samples_this_round += 1;
+            if latest_rtt < self.round_min {
+                self.round_min = latest_rtt;
+            }
+        }
+        // Round boundary: data sent within this round has been acked.
+        if newest_acked_sent_at >= self.round_marker {
+            if self.samples_this_round >= MIN_SAMPLES {
+                if let Some(prev) = self.last_round_min {
+                    let eta = Dur::from_nanos(prev.as_nanos() / 8)
+                        .max(DELAY_MIN_THRESHOLD)
+                        .min(DELAY_MAX_THRESHOLD);
+                    if self.round_min >= prev + eta {
+                        self.exit_signalled = true;
+                        return true;
+                    }
+                }
+                self.last_round_min = Some(self.round_min);
+            }
+            self.round_marker = now;
+            self.round_min = Dur::MAX;
+            self.samples_this_round = 0;
+        }
+        false
+    }
+
+    /// Whether an exit has been signalled.
+    pub fn exited(&self) -> bool {
+        self.exit_signalled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+    fn ms(v: u64) -> Dur {
+        Dur::from_millis(v)
+    }
+
+    /// Drive a full round of `n` mid-round samples with the given RTT,
+    /// then a round-boundary ack. Rounds are spaced 100ms apart starting
+    /// at t = 1s so that "sent before the current round marker" is
+    /// unambiguous: mid-round acks cover data sent 50ms before the base,
+    /// the boundary ack covers data sent after it.
+    fn drive_round(h: &mut HyStart, round: u64, rtt_ms: u64, n: u32) -> bool {
+        let base = 1000 + round * 100;
+        let mut exited = false;
+        for i in 0..n {
+            let now = t(base + i as u64);
+            let sent = t(base - 50);
+            exited |= h.on_ack(now, sent, ms(rtt_ms));
+        }
+        exited |= h.on_ack(t(base + 90), t(base + 90), ms(rtt_ms));
+        exited
+    }
+
+    #[test]
+    fn stable_rtt_never_exits() {
+        let mut h = HyStart::new(t(0));
+        for round in 0..20u64 {
+            assert!(!drive_round(&mut h, round, 36, 9));
+        }
+        assert!(!h.exited());
+    }
+
+    #[test]
+    fn rtt_jump_triggers_exit() {
+        let mut h = HyStart::new(t(0));
+        assert!(!drive_round(&mut h, 0, 36, 9));
+        assert!(!drive_round(&mut h, 1, 36, 9));
+        // Jump well beyond 36/8 = 4.5ms threshold.
+        assert!(drive_round(&mut h, 2, 60, 9));
+        assert!(h.exited());
+    }
+
+    #[test]
+    fn small_increase_below_eta_is_tolerated() {
+        let mut h = HyStart::new(t(0));
+        assert!(!drive_round(&mut h, 0, 36, 9));
+        // +3ms < eta (4.5ms): no exit.
+        assert!(!drive_round(&mut h, 1, 39, 9));
+    }
+
+    #[test]
+    fn needs_enough_samples() {
+        let mut h = HyStart::new(t(0));
+        // Rounds of 3 samples each never accumulate MIN_SAMPLES, so even a
+        // big jump cannot trigger.
+        assert!(!drive_round(&mut h, 0, 36, 3));
+        assert!(!drive_round(&mut h, 1, 200, 3));
+        assert!(!h.exited());
+    }
+
+    #[test]
+    fn eta_clamps_for_tiny_rtt() {
+        // prev min 8ms -> raw eta 1ms, clamped to 4ms. An increase of 3ms
+        // must not exit; 5ms must.
+        let mut h = HyStart::new(t(0));
+        assert!(!drive_round(&mut h, 0, 8, 9));
+        assert!(!drive_round(&mut h, 1, 11, 9));
+        let mut h2 = HyStart::new(t(0));
+        assert!(!drive_round(&mut h2, 0, 8, 9));
+        assert!(drive_round(&mut h2, 1, 13, 9));
+    }
+
+    #[test]
+    fn exit_latches() {
+        let mut h = HyStart::new(t(0));
+        drive_round(&mut h, 0, 36, 9);
+        drive_round(&mut h, 1, 36, 9);
+        assert!(drive_round(&mut h, 2, 80, 9));
+        // Later calm rounds don't un-exit.
+        assert!(h.on_ack(t(9000), t(9000), ms(36)));
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared transport abstractions for the `longlook` testbed.
+//!
+//! This crate defines what the QUIC and TCP protocol models have in
+//! common, so that their *differences* — ack ambiguity, loss detection,
+//! handshake latency, head-of-line blocking — live in the protocol crates
+//! and everything else is held equal (the paper's "fair comparison"
+//! requirement):
+//!
+//! * [`conn`] — the sans-IO [`Connection`] trait all applications use;
+//! * [`rtt`] — RFC 6298 estimation with QUIC's ack-delay correction;
+//! * [`cc`] / [`cubic`] / [`bbr`] — the congestion-control interface and
+//!   the two controllers the paper studies;
+//! * [`hystart`] / [`prr`] / [`pacing`] — Hybrid Slow Start, proportional
+//!   rate reduction, and packet pacing;
+//! * [`ccstate`] — Table 3's state vocabulary and the transition tracker
+//!   whose traces feed state-machine inference.
+
+pub mod bbr;
+pub mod cc;
+pub mod ccstate;
+pub mod conn;
+pub mod cubic;
+pub mod hystart;
+pub mod pacing;
+pub mod prr;
+pub mod rtt;
+
+pub use bbr::Bbr;
+pub use cc::{CcPhase, CongestionControl};
+pub use ccstate::{BbrState, CcState, StateTrace, StateTracker, Transition};
+pub use conn::{
+    AppEvent, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD, UDP_OVERHEAD,
+};
+pub use cubic::{Cubic, CubicConfig};
+pub use hystart::HyStart;
+pub use pacing::Pacer;
+pub use prr::Prr;
+pub use rtt::RttEstimator;

@@ -1,0 +1,174 @@
+//! Proportional Rate Reduction (RFC 6937), the fast-recovery sending gate
+//! both gQUIC and Linux TCP used at the time of the paper.
+//!
+//! PRR paces transmissions during recovery so the window converges to
+//! ssthresh smoothly instead of halting (rate-halving) or bursting: the
+//! amount sent is kept proportional to the amount newly delivered.
+
+/// PRR state for one recovery epoch.
+#[derive(Debug, Clone, Default)]
+pub struct Prr {
+    /// Bytes delivered (acked) since recovery began.
+    prr_delivered: u64,
+    /// Bytes transmitted since recovery began.
+    prr_out: u64,
+    /// Pipe size when recovery began (RecoverFS).
+    recover_fs: u64,
+    /// Target window (ssthresh) for this epoch.
+    ssthresh: u64,
+    active: bool,
+}
+
+impl Prr {
+    /// Begin a recovery epoch.
+    pub fn enter(&mut self, in_flight: u64, ssthresh: u64) {
+        self.prr_delivered = 0;
+        self.prr_out = 0;
+        self.recover_fs = in_flight.max(1);
+        self.ssthresh = ssthresh;
+        self.active = true;
+    }
+
+    /// End the epoch (recovery point acked).
+    pub fn exit(&mut self) {
+        self.active = false;
+    }
+
+    /// Whether an epoch is active.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Newly delivered bytes during recovery.
+    pub fn on_ack(&mut self, delivered: u64) {
+        if self.active {
+            self.prr_delivered += delivered;
+        }
+    }
+
+    /// Bytes sent during recovery.
+    pub fn on_sent(&mut self, bytes: u64) {
+        if self.active {
+            self.prr_out += bytes;
+        }
+    }
+
+    /// Send budget available right now given `in_flight` (the pipe).
+    ///
+    /// RFC 6937: while the pipe is larger than ssthresh, send
+    /// proportionally (`prr_delivered * ssthresh / RecoverFS - prr_out`);
+    /// once the pipe falls to/below ssthresh, use the slow-start reduction
+    /// bound (`max(prr_delivered - prr_out, mss)`) to avoid stalling, but
+    /// never grow the pipe beyond ssthresh.
+    pub fn send_budget(&self, in_flight: u64, mss: u64) -> u64 {
+        if !self.active {
+            return u64::MAX;
+        }
+        if in_flight > self.ssthresh {
+            // Proportional part; ceil the division.
+            let allowed = (self.prr_delivered * self.ssthresh).div_ceil(self.recover_fs);
+            allowed.saturating_sub(self.prr_out)
+        } else {
+            // Slow-start reduction bound: catch up to deliveries, at least
+            // one segment, but do not exceed ssthresh in flight.
+            let ssrb = self.prr_delivered.saturating_sub(self.prr_out).max(mss);
+            ssrb.min(self.ssthresh.saturating_sub(in_flight))
+        }
+    }
+
+    /// Convenience: can one `mss`-sized packet go out now?
+    pub fn can_send(&self, in_flight: u64, mss: u64) -> bool {
+        self.send_budget(in_flight, mss) >= mss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1000;
+
+    #[test]
+    fn inactive_is_unlimited() {
+        let p = Prr::default();
+        assert_eq!(p.send_budget(50_000, MSS), u64::MAX);
+        assert!(p.can_send(1 << 40, MSS));
+    }
+
+    #[test]
+    fn no_sending_before_deliveries() {
+        let mut p = Prr::default();
+        p.enter(20 * MSS, 10 * MSS);
+        // Nothing delivered yet: proportional budget is zero.
+        assert_eq!(p.send_budget(20 * MSS, MSS), 0);
+        assert!(!p.can_send(20 * MSS, MSS));
+    }
+
+    #[test]
+    fn proportional_sending_tracks_deliveries() {
+        let mut p = Prr::default();
+        p.enter(20 * MSS, 10 * MSS); // halve the window
+        p.on_ack(2 * MSS);
+        // 2 delivered * 10/20 = 1 MSS allowed.
+        assert_eq!(p.send_budget(19 * MSS, MSS), MSS);
+        p.on_sent(MSS);
+        assert_eq!(p.send_budget(18 * MSS, MSS), 0);
+        p.on_ack(2 * MSS);
+        assert!(p.can_send(17 * MSS, MSS));
+    }
+
+    #[test]
+    fn total_sent_converges_to_half_of_delivered() {
+        let mut p = Prr::default();
+        p.enter(40 * MSS, 20 * MSS);
+        let mut in_flight = 40 * MSS;
+        let mut sent_total = 0u64;
+        // Deliver the whole original pipe one MSS at a time.
+        for _ in 0..40 {
+            p.on_ack(MSS);
+            in_flight -= MSS;
+            while p.can_send(in_flight, MSS) && in_flight < 40 * MSS {
+                p.on_sent(MSS);
+                in_flight += MSS;
+                sent_total += MSS;
+            }
+        }
+        // PRR should have sent roughly ssthresh worth (half the pipe).
+        assert!(
+            (18 * MSS..=22 * MSS).contains(&sent_total),
+            "sent = {} MSS",
+            sent_total / MSS
+        );
+    }
+
+    #[test]
+    fn slow_start_reduction_bound_prevents_stall() {
+        let mut p = Prr::default();
+        p.enter(20 * MSS, 10 * MSS);
+        // Heavy loss: pipe collapses below ssthresh with little delivered.
+        p.on_ack(MSS);
+        let budget = p.send_budget(2 * MSS, MSS);
+        // SSRB guarantees at least one MSS.
+        assert!(budget >= MSS, "budget = {budget}");
+        // But never grows the pipe beyond ssthresh.
+        assert!(budget <= 8 * MSS);
+    }
+
+    #[test]
+    fn pipe_capped_at_ssthresh_in_ssrb_mode() {
+        let mut p = Prr::default();
+        p.enter(20 * MSS, 10 * MSS);
+        p.on_ack(15 * MSS);
+        // in_flight already at ssthresh: nothing more allowed.
+        assert_eq!(p.send_budget(10 * MSS, MSS), 0);
+    }
+
+    #[test]
+    fn exit_restores_unlimited() {
+        let mut p = Prr::default();
+        p.enter(20 * MSS, 10 * MSS);
+        p.exit();
+        assert!(!p.active());
+        assert_eq!(p.send_budget(0, MSS), u64::MAX);
+    }
+}

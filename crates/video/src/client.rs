@@ -1,0 +1,258 @@
+//! The streaming client: sequential segment fetches over either transport,
+//! feeding the playback-buffer model.
+//!
+//! Mirrors the paper's tool (Sec 5.3): "opens a one-hour-long YouTube
+//! video, selects a specific quality level, lets the video run for 60
+//! seconds, and logs ... time to start the video, video quality, ...
+//! re-buffering events, and fraction of video loaded."
+
+use crate::player::{Player, QoeMetrics};
+use longlook_http::app::ClientApp;
+use longlook_http::workload::PageSpec;
+use longlook_sim::time::{Dur, Time};
+use longlook_transport::conn::{AppEvent, Connection, StreamId};
+use std::any::Any;
+
+/// A fixed video quality level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Label as in the YouTube API.
+    pub name: &'static str,
+    /// Encoded bitrate, bits/sec.
+    pub bitrate_bps: f64,
+}
+
+/// The quality ladder of Table 6.
+pub const QUALITIES: [Quality; 4] = [
+    Quality {
+        name: "tiny",
+        bitrate_bps: 125e3,
+    },
+    Quality {
+        name: "medium",
+        bitrate_bps: 750e3,
+    },
+    Quality {
+        name: "hd720",
+        bitrate_bps: 2.5e6,
+    },
+    Quality {
+        name: "hd2160",
+        bitrate_bps: 18e6,
+    },
+];
+
+/// Streaming client configuration.
+#[derive(Debug, Clone)]
+pub struct VideoConfig {
+    /// Selected quality.
+    pub quality: Quality,
+    /// Segment duration in video seconds.
+    pub segment_secs: f64,
+    /// Total video length in seconds (the paper uses a 1-hour video).
+    pub video_secs: f64,
+    /// How long the experiment watches (the paper: 60 s).
+    pub watch_time: Dur,
+    /// Buffered seconds needed to start playback.
+    pub start_threshold: f64,
+    /// Buffered seconds needed to resume after a stall.
+    pub resume_threshold: f64,
+    /// Stop fetching when this much video is buffered ahead.
+    pub max_buffer_ahead: f64,
+}
+
+impl VideoConfig {
+    /// Table 6 defaults for the given quality.
+    pub fn table6(quality: Quality) -> Self {
+        VideoConfig {
+            quality,
+            segment_secs: 5.0,
+            video_secs: 3600.0,
+            watch_time: Dur::from_secs(60),
+            start_threshold: 2.0,
+            resume_threshold: 5.0,
+            max_buffer_ahead: 1200.0,
+        }
+    }
+
+    /// Bytes per segment at this quality.
+    pub fn segment_bytes(&self) -> u64 {
+        (self.quality.bitrate_bps * self.segment_secs / 8.0) as u64
+    }
+
+    /// Number of segments in the whole video.
+    pub fn segment_count(&self) -> usize {
+        (self.video_secs / self.segment_secs).ceil() as usize
+    }
+
+    /// Server catalog for this stream: every segment has the same size, so
+    /// a single catalog entry (index 0) suffices.
+    pub fn catalog(&self) -> PageSpec {
+        PageSpec::single(self.segment_bytes())
+    }
+}
+
+/// The streaming client app.
+pub struct VideoClient {
+    cfg: VideoConfig,
+    player: Player,
+    /// Deadline after which the experiment stops (watch window).
+    deadline: Option<Time>,
+    /// Outstanding segment request.
+    inflight: Option<StreamId>,
+    received_this_segment: u64,
+    segments_fetched: usize,
+    established: bool,
+    finished: bool,
+    /// Final metrics, captured at the deadline.
+    result: Option<QoeMetrics>,
+}
+
+impl VideoClient {
+    /// New client for the given configuration.
+    pub fn new(cfg: VideoConfig) -> Self {
+        let player = Player::new(Time::ZERO, cfg.start_threshold, cfg.resume_threshold);
+        VideoClient {
+            cfg,
+            player,
+            deadline: None,
+            inflight: None,
+            received_this_segment: 0,
+            segments_fetched: 0,
+            established: false,
+            finished: false,
+            result: None,
+        }
+    }
+
+    fn maybe_request(&mut self, conn: &mut dyn Connection, now: Time) {
+        if self.finished
+            || self.inflight.is_some()
+            || self.segments_fetched >= self.cfg.segment_count()
+        {
+            return;
+        }
+        self.player.update(now);
+        if self.player.buffer_secs() >= self.cfg.max_buffer_ahead {
+            return; // buffer full; on_tick will resume fetching
+        }
+        if let Some(id) = conn.open_stream(now) {
+            self.received_this_segment = 0;
+            self.inflight = Some(id);
+            conn.stream_send(now, id, PageSpec::request_len(0), true);
+        }
+    }
+
+    fn finish(&mut self, now: Time) {
+        if !self.finished {
+            self.finished = true;
+            self.result = Some(self.player.metrics(now));
+        }
+    }
+
+    /// The QoE metrics (after the watch window closed).
+    pub fn qoe(&self) -> Option<QoeMetrics> {
+        self.result
+    }
+
+    /// The configuration (for reporting).
+    pub fn config(&self) -> &VideoConfig {
+        &self.cfg
+    }
+}
+
+impl ClientApp for VideoClient {
+    fn on_start(&mut self, conn: &mut dyn Connection, now: Time) {
+        self.deadline = Some(now + self.cfg.watch_time);
+        self.player = Player::new(now, self.cfg.start_threshold, self.cfg.resume_threshold);
+        if conn.is_established() {
+            self.established = true;
+            self.maybe_request(conn, now);
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, conn: &mut dyn Connection, now: Time) {
+        if self.deadline.is_some_and(|d| now >= d) {
+            self.finish(self.deadline.expect("checked"));
+            return;
+        }
+        match ev {
+            AppEvent::HandshakeDone => {
+                if !self.established {
+                    self.established = true;
+                    self.maybe_request(conn, now);
+                }
+            }
+            AppEvent::StreamData { id, bytes } => {
+                if self.inflight == Some(id) {
+                    self.received_this_segment += bytes;
+                }
+            }
+            AppEvent::StreamFin(id) => {
+                if self.inflight == Some(id) {
+                    self.inflight = None;
+                    self.segments_fetched += 1;
+                    self.player.on_downloaded(now, self.cfg.segment_secs);
+                    self.maybe_request(conn, now);
+                }
+            }
+            AppEvent::StreamOpened(_) => {}
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.finished
+    }
+
+    fn next_wakeup(&self) -> Option<Time> {
+        if self.finished {
+            return None;
+        }
+        self.deadline
+    }
+
+    fn on_tick(&mut self, conn: &mut dyn Connection, now: Time) {
+        if let Some(d) = self.deadline {
+            if now >= d {
+                self.finish(d);
+                return;
+            }
+        }
+        // Buffer may have drained below the cap: resume fetching.
+        if self.established {
+            self.maybe_request(conn, now);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_ladder_matches_table6() {
+        assert_eq!(QUALITIES.len(), 4);
+        assert_eq!(QUALITIES[0].name, "tiny");
+        assert_eq!(QUALITIES[3].name, "hd2160");
+        assert!(QUALITIES.windows(2).all(|w| w[0].bitrate_bps < w[1].bitrate_bps));
+    }
+
+    #[test]
+    fn segment_sizing() {
+        let cfg = VideoConfig::table6(QUALITIES[3]);
+        // 18 Mbps * 5 s / 8 = 11.25 MB per segment.
+        assert_eq!(cfg.segment_bytes(), 11_250_000);
+        assert_eq!(cfg.segment_count(), 720);
+        assert_eq!(cfg.catalog().objects, vec![11_250_000]);
+    }
+
+    #[test]
+    fn tiny_segments_are_small() {
+        let cfg = VideoConfig::table6(QUALITIES[0]);
+        assert_eq!(cfg.segment_bytes(), 78_125);
+    }
+}

@@ -1,0 +1,114 @@
+//! Video-streaming QoE over either transport (paper Sec 5.3, Table 6).
+//!
+//! A fixed-quality segment-streaming client (the paper streams one quality
+//! at a time via the YouTube iFrame API, no ABR) feeding a fluid playback
+//! buffer; QoE metrics are time-to-start, fraction loaded in the watch
+//! window, rebuffer counts, and buffering/playing ratio.
+
+pub mod client;
+pub mod player;
+
+pub use client::{Quality, VideoClient, VideoConfig, QUALITIES};
+pub use player::{Player, QoeMetrics};
+
+#[cfg(test)]
+mod world_tests {
+    use crate::client::{VideoClient, VideoConfig, QUALITIES};
+    use longlook_http::host::{ClientHost, ProtoConfig, ServerHost};
+    use longlook_quic::QuicConfig;
+    use longlook_sim::link::LinkConfig;
+    use longlook_sim::schedule::RateSchedule;
+    use longlook_sim::time::{Dur, Time};
+    use longlook_sim::world::World;
+    use longlook_sim::{DeviceProfile, FlowId, NodeId};
+    use longlook_tcp::TcpConfig;
+
+    fn run_video(
+        proto: ProtoConfig,
+        cfg: VideoConfig,
+        rate_mbps: f64,
+        loss: f64,
+        seed: u64,
+    ) -> crate::QoeMetrics {
+        let mut world = World::new(seed);
+        let server_id = NodeId(1);
+        let mut client = ClientHost::new(server_id, false);
+        client.add(
+            FlowId(1),
+            &proto,
+            true,
+            Box::new(VideoClient::new(cfg.clone())),
+            Time::ZERO,
+        );
+        let c = world.add_node(Box::new(client), DeviceProfile::DESKTOP);
+        let server = ServerHost::new(proto, cfg.catalog(), seed ^ 0x77);
+        world.add_node(Box::new(server), DeviceProfile::SERVER);
+        let link = LinkConfig::shaped(
+            RateSchedule::fixed_mbps(rate_mbps),
+            Dur::from_millis(18),
+            Dur::from_millis(36),
+        )
+        .with_loss(loss);
+        world.connect(c, server_id, link.clone(), link);
+        world.kick(c);
+        world.run_until(Time::ZERO + cfg.watch_time + Dur::from_secs(5));
+        let client = world.agent::<ClientHost>(c);
+        let app = client.app::<VideoClient>(0);
+        app.qoe().expect("watch window elapsed")
+    }
+
+    fn quic() -> ProtoConfig {
+        ProtoConfig::Quic(QuicConfig::default())
+    }
+
+    #[test]
+    fn low_quality_plays_without_rebuffering() {
+        let cfg = VideoConfig::table6(QUALITIES[0]); // tiny
+        let m = run_video(quic(), cfg, 100.0, 0.0, 1);
+        assert_eq!(m.rebuffer_count, 0);
+        assert!(m.time_to_start.is_some());
+        assert!(m.played_secs > 50.0, "played = {}", m.played_secs);
+    }
+
+    #[test]
+    fn fraction_loaded_capped_by_buffer_limit() {
+        let mut cfg = VideoConfig::table6(QUALITIES[0]);
+        cfg.max_buffer_ahead = 100.0;
+        let m = run_video(quic(), cfg, 100.0, 0.0, 2);
+        // Loaded ~ played (60s) + cap (100s) + one segment of slack.
+        assert!(m.loaded_secs < 175.0, "loaded = {}", m.loaded_secs);
+        assert!(m.loaded_secs > 100.0);
+    }
+
+    #[test]
+    fn uhd_on_a_thin_lossy_pipe_rebuffers() {
+        let cfg = VideoConfig::table6(QUALITIES[3]); // hd2160 (18 Mbps)
+        let m = run_video(quic(), cfg, 20.0, 0.01, 3);
+        assert!(m.rebuffer_count >= 1, "{m:?}");
+        assert!(m.loaded_secs < 120.0);
+    }
+
+    #[test]
+    fn quic_loads_more_uhd_than_tcp_under_loss() {
+        // The Table 6 headline at hd2160 / 100 Mbps / 1% loss.
+        let cfg = VideoConfig::table6(QUALITIES[3]);
+        let q = run_video(quic(), cfg.clone(), 100.0, 0.01, 4);
+        let t = run_video(ProtoConfig::Tcp(TcpConfig::default()), cfg, 100.0, 0.01, 4);
+        assert!(
+            q.loaded_secs > t.loaded_secs,
+            "QUIC {} vs TCP {}",
+            q.loaded_secs,
+            t.loaded_secs
+        );
+    }
+
+    #[test]
+    fn time_to_start_reflects_handshake_difference() {
+        let cfg = VideoConfig::table6(QUALITIES[1]); // medium
+        let q = run_video(quic(), cfg.clone(), 100.0, 0.0, 5);
+        let t = run_video(ProtoConfig::Tcp(TcpConfig::default()), cfg, 100.0, 0.0, 5);
+        let qs = q.time_to_start.expect("started").as_millis_f64();
+        let ts = t.time_to_start.expect("started").as_millis_f64();
+        assert!(qs < ts, "QUIC starts faster: {qs} vs {ts}");
+    }
+}

@@ -1,0 +1,247 @@
+//! The playback-buffer model: a fluid player that drains one video-second
+//! per wall-second while playing and stalls when the buffer empties.
+//!
+//! The QoE metrics of the paper's Table 6 fall out of this model: time to
+//! start (buffer reaches the start threshold), rebuffer count and
+//! rebuffering time (stalls), and fraction of the video loaded in the
+//! watch window.
+
+use longlook_sim::time::{Dur, Time};
+use serde::Serialize;
+
+/// Playback QoE counters.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QoeMetrics {
+    /// Wall time from load start to first frame.
+    pub time_to_start: Option<Dur>,
+    /// Seconds of video played.
+    pub played_secs: f64,
+    /// Seconds of video downloaded.
+    pub loaded_secs: f64,
+    /// Number of mid-playback stalls.
+    pub rebuffer_count: u32,
+    /// Total time stalled after playback started.
+    pub rebuffer_time: Dur,
+}
+
+impl QoeMetrics {
+    /// Buffering time / playing time, as a percentage (Table 6).
+    pub fn buffer_play_ratio_pct(&self) -> f64 {
+        if self.played_secs <= 0.0 {
+            return 0.0;
+        }
+        self.rebuffer_time.as_secs_f64() / self.played_secs * 100.0
+    }
+
+    /// Rebuffers per played second (Table 6's final column).
+    pub fn rebuffers_per_playing_sec(&self) -> f64 {
+        if self.played_secs <= 0.0 {
+            0.0
+        } else {
+            self.rebuffer_count as f64 / self.played_secs
+        }
+    }
+
+    /// Fraction of a `total_secs` video loaded, as a percentage.
+    pub fn loaded_pct(&self, total_secs: f64) -> f64 {
+        self.loaded_secs / total_secs * 100.0
+    }
+}
+
+/// Fluid playback-buffer simulation.
+#[derive(Debug)]
+pub struct Player {
+    /// Video seconds buffered ahead of the playhead.
+    buffer_secs: f64,
+    /// Video seconds downloaded in total.
+    loaded_secs: f64,
+    played_secs: f64,
+    playing: bool,
+    started: Option<Time>,
+    load_began: Time,
+    last_update: Time,
+    rebuffer_count: u32,
+    rebuffer_time: Dur,
+    /// Buffer needed before first play.
+    start_threshold: f64,
+    /// Buffer needed to resume after a stall.
+    resume_threshold: f64,
+}
+
+impl Player {
+    /// New player; `now` is when loading begins.
+    pub fn new(now: Time, start_threshold: f64, resume_threshold: f64) -> Self {
+        Player {
+            buffer_secs: 0.0,
+            loaded_secs: 0.0,
+            played_secs: 0.0,
+            playing: false,
+            started: None,
+            load_began: now,
+            last_update: now,
+            rebuffer_count: 0,
+            rebuffer_time: Dur::ZERO,
+            start_threshold,
+            resume_threshold,
+        }
+    }
+
+    /// Advance the fluid model to `now`.
+    pub fn update(&mut self, now: Time) {
+        let dt = now.saturating_since(self.last_update).as_secs_f64();
+        self.last_update = now;
+        if dt <= 0.0 {
+            return;
+        }
+        if self.playing {
+            let play = dt.min(self.buffer_secs);
+            self.played_secs += play;
+            self.buffer_secs -= play;
+            if play < dt {
+                // Stalled mid-interval.
+                self.playing = false;
+                self.rebuffer_count += 1;
+                self.rebuffer_time += Dur::from_secs_f64(dt - play);
+            }
+        } else if self.started.is_some() {
+            // Stalled: the whole interval is rebuffering time.
+            self.rebuffer_time += Dur::from_secs_f64(dt);
+        }
+    }
+
+    /// Account `secs` of newly downloaded video at `now`.
+    pub fn on_downloaded(&mut self, now: Time, secs: f64) {
+        self.update(now);
+        self.buffer_secs += secs;
+        self.loaded_secs += secs;
+        match self.started {
+            None => {
+                if self.buffer_secs >= self.start_threshold {
+                    self.started = Some(now);
+                    self.playing = true;
+                }
+            }
+            Some(_) => {
+                if !self.playing && self.buffer_secs >= self.resume_threshold {
+                    self.playing = true;
+                }
+            }
+        }
+    }
+
+    /// Current buffered seconds ahead of the playhead.
+    pub fn buffer_secs(&self) -> f64 {
+        self.buffer_secs
+    }
+
+    /// Whether playback has begun.
+    pub fn started(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Finalize at `now` and report metrics.
+    pub fn metrics(&mut self, now: Time) -> QoeMetrics {
+        self.update(now);
+        QoeMetrics {
+            time_to_start: self
+                .started
+                .map(|s| s.saturating_since(self.load_began)),
+            played_secs: self.played_secs,
+            loaded_secs: self.loaded_secs,
+            rebuffer_count: self.rebuffer_count,
+            rebuffer_time: self.rebuffer_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+
+    #[test]
+    fn playback_starts_at_threshold() {
+        let mut p = Player::new(t(0), 2.0, 5.0);
+        p.on_downloaded(t(100), 1.0);
+        assert!(!p.started());
+        p.on_downloaded(t(200), 1.5);
+        assert!(p.started());
+        let m = p.metrics(t(200));
+        assert_eq!(m.time_to_start, Some(Dur::from_millis(200)));
+    }
+
+    #[test]
+    fn steady_download_plays_smoothly() {
+        let mut p = Player::new(t(0), 2.0, 5.0);
+        // Download 5s of video every second for 10 seconds.
+        for k in 1..=10u64 {
+            p.on_downloaded(t(k * 1000), 5.0);
+        }
+        let m = p.metrics(t(10_000));
+        assert_eq!(m.rebuffer_count, 0);
+        // Started after the first download (t=1s), played ~9s since.
+        assert!((m.played_secs - 9.0).abs() < 0.01, "{}", m.played_secs);
+        assert_eq!(m.loaded_secs, 50.0);
+    }
+
+    #[test]
+    fn slow_download_rebuffers() {
+        let mut p = Player::new(t(0), 2.0, 5.0);
+        // 2s of video arrives at t=1: play starts.
+        p.on_downloaded(t(1000), 2.0);
+        // Nothing more until t=10: buffer drains at t=3, stall 7s.
+        p.on_downloaded(t(10_000), 5.0);
+        let m = p.metrics(t(10_000));
+        assert_eq!(m.rebuffer_count, 1);
+        assert!((m.rebuffer_time.as_secs_f64() - 7.0).abs() < 0.01);
+        assert!((m.played_secs - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn resume_waits_for_resume_threshold() {
+        let mut p = Player::new(t(0), 2.0, 5.0);
+        p.on_downloaded(t(0), 2.0);
+        assert!(p.started());
+        // Drain fully by t=3.
+        p.update(t(3000));
+        // Trickle in 1s of video: below resume threshold, still stalled.
+        p.on_downloaded(t(4000), 1.0);
+        p.update(t(5000));
+        let m = p.metrics(t(5000));
+        assert!((m.played_secs - 2.0).abs() < 0.01, "still stalled");
+        // Cross the threshold: playback resumes.
+        p.on_downloaded(t(5000), 4.5);
+        p.update(t(6000));
+        let m = p.metrics(t(6000));
+        assert!(m.played_secs > 2.5);
+        assert_eq!(m.rebuffer_count, 1);
+    }
+
+    #[test]
+    fn never_started_has_no_rebuffers() {
+        let mut p = Player::new(t(0), 2.0, 5.0);
+        p.on_downloaded(t(1000), 0.5);
+        let m = p.metrics(t(60_000));
+        assert_eq!(m.time_to_start, None);
+        assert_eq!(m.rebuffer_count, 0);
+        assert_eq!(m.rebuffer_time, Dur::ZERO);
+        assert_eq!(m.played_secs, 0.0);
+    }
+
+    #[test]
+    fn metrics_ratios() {
+        let m = QoeMetrics {
+            time_to_start: Some(Dur::from_secs(1)),
+            played_secs: 20.0,
+            loaded_secs: 36.0,
+            rebuffer_count: 4,
+            rebuffer_time: Dur::from_secs(10),
+        };
+        assert!((m.buffer_play_ratio_pct() - 50.0).abs() < 1e-9);
+        assert!((m.rebuffers_per_playing_sec() - 0.2).abs() < 1e-9);
+        assert!((m.loaded_pct(3600.0) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the playback-buffer model.
+
+use longlook_sim::time::{Dur, Time};
+use longlook_video::Player;
+use proptest::prelude::*;
+
+fn t(ms: u64) -> Time {
+    Time::ZERO + Dur::from_millis(ms)
+}
+
+proptest! {
+    /// Conservation: played seconds never exceed loaded seconds, buffers
+    /// never go negative, and played + buffered == loaded.
+    #[test]
+    fn playback_conserves_video_seconds(
+        downloads in proptest::collection::vec((1u64..5_000, 0.1f64..10.0), 1..50),
+    ) {
+        let mut p = Player::new(t(0), 2.0, 5.0);
+        let mut clock = 0u64;
+        let mut loaded = 0.0f64;
+        for &(gap_ms, secs) in &downloads {
+            clock += gap_ms;
+            p.on_downloaded(t(clock), secs);
+            loaded += secs;
+            prop_assert!(p.buffer_secs() >= -1e-9);
+            prop_assert!(p.buffer_secs() <= loaded + 1e-9);
+        }
+        let m = p.metrics(t(clock + 10_000));
+        prop_assert!((m.loaded_secs - loaded).abs() < 1e-9);
+        prop_assert!(m.played_secs <= loaded + 1e-9);
+        prop_assert!(m.played_secs >= -1e-9);
+    }
+
+    /// Wall-clock accounting: played + rebuffering + startup wait can
+    /// never exceed the observation span.
+    #[test]
+    fn time_accounting_bounded_by_span(
+        downloads in proptest::collection::vec((1u64..3_000, 0.1f64..8.0), 1..40),
+        extra_ms in 0u64..30_000,
+    ) {
+        let mut p = Player::new(t(0), 2.0, 5.0);
+        let mut clock = 0u64;
+        for &(gap_ms, secs) in &downloads {
+            clock += gap_ms;
+            p.on_downloaded(t(clock), secs);
+        }
+        let end = clock + extra_ms;
+        let m = p.metrics(t(end));
+        let span = end as f64 / 1000.0;
+        prop_assert!(
+            m.played_secs + m.rebuffer_time.as_secs_f64() <= span + 1e-6,
+            "played {} + rebuffer {} > span {}",
+            m.played_secs,
+            m.rebuffer_time.as_secs_f64(),
+            span
+        );
+    }
+
+    /// Monotonicity: more download at the same instants never reduces
+    /// played seconds.
+    #[test]
+    fn more_data_never_hurts(
+        downloads in proptest::collection::vec((100u64..2_000, 0.5f64..5.0), 2..20),
+    ) {
+        let run = |scale: f64| {
+            let mut p = Player::new(t(0), 2.0, 5.0);
+            let mut clock = 0u64;
+            for &(gap_ms, secs) in &downloads {
+                clock += gap_ms;
+                p.on_downloaded(t(clock), secs * scale);
+            }
+            p.metrics(t(clock + 5_000)).played_secs
+        };
+        let base = run(1.0);
+        let more = run(1.5);
+        prop_assert!(more >= base - 1e-6, "{more} < {base}");
+    }
+
+    /// A player that never crosses the start threshold reports no
+    /// rebuffering and no start time.
+    #[test]
+    fn below_threshold_never_starts(n in 1usize..20) {
+        let mut p = Player::new(t(0), 10.0, 15.0);
+        for k in 0..n {
+            // 0.3s of video per download, capped well below the 10s
+            // threshold by playback never starting (buffer only grows).
+            if p.buffer_secs() > 9.0 {
+                break;
+            }
+            p.on_downloaded(t((k as u64 + 1) * 500), 0.3);
+        }
+        let m = p.metrics(t(60_000));
+        if m.loaded_secs < 10.0 {
+            prop_assert_eq!(m.time_to_start, None);
+            prop_assert_eq!(m.rebuffer_count, 0);
+            prop_assert_eq!(m.played_secs, 0.0);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Reordering demo (paper Sec 5.2, Fig 10): jitter-induced packet
+//! reordering makes QUIC's fixed NACK threshold declare false losses;
+//! raising the threshold (or adapting it, as TCP's DSACK does) fixes it.
+//!
+//! ```text
+//! cargo run --release --example reordering
+//! ```
+
+use longlook_core::prelude::*;
+
+fn main() {
+    // The paper's setup: 10 MB download, 112 ms RTT, ±10 ms jitter.
+    let net = NetProfile::baseline(50.0)
+        .with_extra_rtt(Dur::from_millis(76))
+        .with_jitter(Dur::from_millis(10));
+    let page = PageSpec::single(10 * 1024 * 1024);
+
+    println!("10 MB download, 112 ms RTT, ±10 ms jitter (reordering):\n");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12}",
+        "sender", "PLT (ms)", "false loss", "spurious rtx"
+    );
+
+    for threshold in [3u32, 10, 25, 50] {
+        let mut cfg = QuicConfig::default();
+        cfg.nack_threshold = threshold;
+        let sc = Scenario::new(net.clone(), page.clone()).with_rounds(1);
+        let rec = run_page_load(&ProtoConfig::Quic(cfg), &sc, 0);
+        let st = rec.server_stats.unwrap_or_default();
+        println!(
+            "{:<28} {:>10.0} {:>12} {:>12}",
+            format!("QUIC, NACK threshold {threshold}"),
+            rec.plt.map_or(f64::NAN, |d| d.as_millis_f64()),
+            st.losses_detected,
+            st.spurious_retransmissions,
+        );
+    }
+
+    let sc = Scenario::new(net.clone(), page.clone()).with_rounds(1);
+    let rec = run_page_load(&ProtoConfig::Tcp(TcpConfig::default()), &sc, 0);
+    let st = rec.server_stats.unwrap_or_default();
+    println!(
+        "{:<28} {:>10.0} {:>12} {:>12}",
+        "TCP (DSACK-adaptive)",
+        rec.plt.map_or(f64::NAN, |d| d.as_millis_f64()),
+        st.losses_detected,
+        st.spurious_retransmissions,
+    );
+
+    println!(
+        "\npaper finding: at the default threshold of 3, reordered packets are\n\
+         misread as losses and QUIC collapses its window; TCP's DSACK raises\n\
+         its dupthresh and sails through. Larger NACK thresholds restore QUIC."
+    );
+}

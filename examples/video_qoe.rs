@@ -1,0 +1,67 @@
+//! Video QoE demo (paper Sec 5.3, Table 6): stream a fixed-quality video
+//! over each transport at 100 Mbps + 1% loss for 60 seconds and compare
+//! QoE — differences only appear at the highest quality.
+//!
+//! ```text
+//! cargo run --release --example video_qoe
+//! ```
+
+use longlook_core::prelude::*;
+use longlook_http::host::{ClientHost, ServerHost};
+use longlook_sim::world::World;
+use longlook_sim::{FlowId, NodeId};
+
+fn stream(proto: &ProtoConfig, cfg: &VideoConfig, seed: u64) -> QoeMetrics {
+    let net = NetProfile::baseline(100.0).with_loss(0.01);
+    let mut world = World::new(seed);
+    let server_id = NodeId(1);
+    let mut client = ClientHost::new(server_id, false);
+    client.add(
+        FlowId(1),
+        proto,
+        true,
+        Box::new(VideoClient::new(cfg.clone())),
+        Time::ZERO,
+    );
+    let c = world.add_node(Box::new(client), DeviceProfile::DESKTOP);
+    let server = ServerHost::new(proto.clone(), cfg.catalog(), seed);
+    world.add_node(Box::new(server), DeviceProfile::SERVER);
+    world.connect(c, server_id, net.link(), net.link());
+    world.kick(c);
+    world.run_until(Time::ZERO + cfg.watch_time + Dur::from_secs(5));
+    world
+        .agent::<ClientHost>(c)
+        .app::<VideoClient>(0)
+        .qoe()
+        .expect("watch window elapsed")
+}
+
+fn main() {
+    println!("1-hour video, 60 s watch, 100 Mbps + 1% loss:\n");
+    println!(
+        "{:<8} {:<5} {:>10} {:>12} {:>12} {:>14}",
+        "quality", "proto", "start (s)", "loaded (%)", "rebuffers", "buffer/play %"
+    );
+    for q in QUALITIES {
+        let cfg = VideoConfig::table6(q);
+        for (name, proto) in [
+            ("QUIC", ProtoConfig::Quic(QuicConfig::default())),
+            ("TCP", ProtoConfig::Tcp(TcpConfig::default())),
+        ] {
+            let m = stream(&proto, &cfg, 99);
+            println!(
+                "{:<8} {:<5} {:>10.1} {:>12.1} {:>12} {:>14.1}",
+                q.name,
+                name,
+                m.time_to_start.map_or(f64::NAN, |d| d.as_secs_f64()),
+                m.loaded_pct(cfg.video_secs),
+                m.rebuffer_count,
+                m.buffer_play_ratio_pct(),
+            );
+        }
+    }
+    println!(
+        "\npaper finding: no meaningful QoE differences at tiny/medium/hd720;\n\
+         at hd2160 QUIC loads more video and spends less time buffering."
+    );
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the trace -> state-machine inference pipeline
+//! (the paper's root-cause instrument), including property-based checks
+//! on the inference invariants.
+
+use longlook_core::prelude::*;
+use longlook_core::rootcause::infer_from_records;
+use longlook_sim::time::Time as STime;
+use longlook_statemachine::{holds, infer, Trace};
+use proptest::prelude::*;
+
+#[test]
+fn cubic_machine_covers_expected_states_under_stress() {
+    let quic = ProtoConfig::Quic(QuicConfig::default());
+    let mut records = Vec::new();
+    // Clean, lossy, and jittery runs to visit many states.
+    for (seed, net) in [
+        (1u64, NetProfile::baseline(10.0)),
+        (2, NetProfile::baseline(100.0).with_loss(0.01)),
+        (
+            3,
+            NetProfile::baseline(50.0)
+                .with_extra_rtt(Dur::from_millis(76))
+                .with_jitter(Dur::from_millis(10)),
+        ),
+    ] {
+        let sc = Scenario::new(net, PageSpec::single(3 * 1024 * 1024))
+            .with_rounds(2)
+            .with_seed(seed);
+        records.extend(run_records(&quic, &sc));
+    }
+    let m = infer_from_records(&records);
+    for expected in ["Init", "SlowStart", "CongestionAvoidance", "Recovery"] {
+        assert!(
+            m.states.iter().any(|s| s == expected),
+            "missing state {expected}: {:?}",
+            m.states
+        );
+    }
+    // Init always precedes SlowStart.
+    assert!(m
+        .invariants
+        .iter()
+        .any(|i| i.to_string() == "Init AlwaysPrecedes SlowStart"));
+    // Probabilities out of each state sum to ~1.
+    for s in &m.states {
+        let total: f64 = m
+            .successors(s)
+            .iter()
+            .map(|(t, _)| m.transition_probability(s, t))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "{s}: {total}");
+    }
+}
+
+#[test]
+fn bbr_machine_uses_bbr_states_only() {
+    let mut cfg = QuicConfig::default();
+    cfg.cc = CcKind::Bbr;
+    let sc = Scenario::new(NetProfile::baseline(20.0), PageSpec::single(10 * 1024 * 1024))
+        .with_rounds(2);
+    let records = run_records(&ProtoConfig::Quic(cfg), &sc);
+    let m = infer_from_records(&records);
+    for s in &m.states {
+        assert!(
+            ["Startup", "Drain", "ProbeBW", "ProbeRTT"].contains(&s.as_str()),
+            "unexpected BBR state {s}"
+        );
+    }
+    assert!(m.states.iter().any(|s| s == "Startup"));
+}
+
+#[test]
+fn motog_is_application_limited_far_more_than_desktop() {
+    let quic = ProtoConfig::Quic(QuicConfig::default());
+    let page = PageSpec::single(10 * 1024 * 1024);
+    let desktop = {
+        let sc = Scenario::new(NetProfile::baseline(50.0), page.clone()).with_rounds(2);
+        infer_from_records(&run_records(&quic, &sc))
+    };
+    let motog = {
+        let sc = Scenario::new(NetProfile::baseline(50.0), page)
+            .with_rounds(2)
+            .on_device(DeviceProfile::MOTOG);
+        infer_from_records(&run_records(&quic, &sc))
+    };
+    let d = desktop.time_fraction("ApplicationLimited");
+    let m = motog.time_fraction("ApplicationLimited");
+    assert!(
+        m > d + 0.2,
+        "MotoG app-limited {:.0}% must far exceed desktop {:.0}% (paper: 58% vs 7%)",
+        m * 100.0,
+        d * 100.0
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mined invariants always hold on the traces they were mined from.
+    #[test]
+    fn mined_invariants_hold_on_inputs(
+        traces in proptest::collection::vec(
+            proptest::collection::vec(0usize..5, 1..12),
+            1..6,
+        )
+    ) {
+        let labels = ["A", "B", "C", "D", "E"];
+        let traces: Vec<Trace> = traces
+            .iter()
+            .map(|seq| {
+                let visits: Vec<(STime, String)> = seq
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        (
+                            STime::ZERO + Dur::from_millis(i as u64 * 10),
+                            labels[s].to_string(),
+                        )
+                    })
+                    .collect();
+                Trace::new(visits, STime::ZERO + Dur::from_millis(seq.len() as u64 * 10))
+            })
+            .collect();
+        let machine = infer(&traces);
+        for inv in &machine.invariants {
+            for tr in &traces {
+                prop_assert!(holds(inv, tr), "{inv} violated");
+            }
+        }
+        // Time fractions sum to ~1 when there is any dwell time.
+        let total: f64 = machine
+            .states
+            .iter()
+            .map(|s| machine.time_fraction(s))
+            .sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+    }
+
+    /// Transition counts equal the number of adjacent pairs plus
+    /// INITIAL/TERMINAL edges.
+    #[test]
+    fn transition_counts_are_consistent(
+        seq in proptest::collection::vec(0usize..3, 1..20)
+    ) {
+        let labels = ["X", "Y", "Z"];
+        let visits: Vec<(STime, String)> = seq
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                (
+                    STime::ZERO + Dur::from_millis(i as u64),
+                    labels[s].to_string(),
+                )
+            })
+            .collect();
+        let trace = Trace::new(visits, STime::ZERO + Dur::from_millis(seq.len() as u64));
+        let machine = infer(std::slice::from_ref(&trace));
+        let total: u64 = machine.transitions.values().sum();
+        // n-1 internal edges + INITIAL edge + TERMINAL edge.
+        prop_assert_eq!(total, seq.len() as u64 + 1);
+    }
+}
