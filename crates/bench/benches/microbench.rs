@@ -1,12 +1,14 @@
-//! Criterion microbenches: the hot paths of the testbed.
+//! Microbenches: the hot paths of the testbed.
 //!
 //! These measure the simulator substrate itself (wire codecs, link model,
-//! congestion-control stepping, ack bookkeeping, state-machine inference,
-//! and a full end-to-end page load), so regressions in experiment runtime
-//! are visible.
+//! congestion-control stepping, state-machine inference, and a full
+//! end-to-end page load), so regressions in experiment runtime are
+//! visible. Timing uses a self-contained std harness (the crate registry
+//! is offline, so criterion is unavailable): each benchmark is warmed up,
+//! then run for a fixed iteration budget, reporting mean ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use longlook_core::prelude::*;
 use longlook_quic::{Frame, QuicPacket};
@@ -17,7 +19,22 @@ use longlook_transport::cubic::{Cubic, CubicConfig};
 use longlook_transport::CongestionControl;
 use longlook_transport::RttEstimator;
 
-fn bench_wire(c: &mut Criterion) {
+/// Run `f` for `iters` iterations after `warmup` iterations, print mean
+/// ns/iter.
+fn bench(name: &str, warmup: u64, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<32} {per_iter:>12.1} ns/iter   ({iters} iters)");
+}
+
+fn bench_wire() {
     let pkt = QuicPacket {
         conn_id: 42,
         pn: 123_456,
@@ -35,47 +52,43 @@ fn bench_wire(c: &mut Criterion) {
             },
         ],
     };
-    c.bench_function("quic_packet_encode", |b| {
-        b.iter(|| black_box(pkt.encode()))
+    bench("quic_packet_encode", 1_000, 100_000, || {
+        black_box(pkt.encode());
     });
     let bytes = pkt.encode();
-    c.bench_function("quic_packet_decode", |b| {
-        b.iter(|| black_box(QuicPacket::decode(bytes.clone()).expect("valid")))
+    bench("quic_packet_decode", 1_000, 100_000, || {
+        black_box(QuicPacket::decode(bytes.clone()).expect("valid"));
     });
 }
 
-fn bench_link(c: &mut Criterion) {
-    c.bench_function("link_transit_shaped", |b| {
-        let cfg = LinkConfig::shaped(
-            RateSchedule::fixed_mbps(100.0),
-            Dur::from_millis(18),
-            Dur::from_millis(36),
-        )
-        .with_loss(0.01);
-        let mut link = LinkDir::new(cfg, SimRng::new(7));
-        let mut t = Time::ZERO;
-        b.iter(|| {
-            t += Dur::from_micros(100);
-            matches!(black_box(link.transit(t, 1400)), Verdict::DeliverAt(_))
-        })
+fn bench_link() {
+    let cfg = LinkConfig::shaped(
+        RateSchedule::fixed_mbps(100.0),
+        Dur::from_millis(18),
+        Dur::from_millis(36),
+    )
+    .with_loss(0.01);
+    let mut link = LinkDir::new(cfg, SimRng::new(7));
+    let mut t = Time::ZERO;
+    bench("link_transit_shaped", 1_000, 1_000_000, || {
+        t += Dur::from_micros(100);
+        black_box(matches!(link.transit(t, 1400), Verdict::DeliverAt(_)));
     });
 }
 
-fn bench_cubic(c: &mut Criterion) {
-    c.bench_function("cubic_on_ack", |b| {
-        let mut cubic = Cubic::new(CubicConfig::quic34(1350), Time::ZERO);
-        let mut rtt = RttEstimator::new(Dur::from_millis(36));
-        rtt.on_sample(Dur::from_millis(36), Dur::ZERO);
-        let mut now = Time::ZERO;
-        b.iter(|| {
-            now += Dur::from_micros(500);
-            cubic.on_ack(now, now - Dur::from_millis(36), 1350, &rtt, 100_000, false);
-            black_box(cubic.cwnd())
-        })
+fn bench_cubic() {
+    let mut cubic = Cubic::new(CubicConfig::quic34(1350), Time::ZERO);
+    let mut rtt = RttEstimator::new(Dur::from_millis(36));
+    rtt.on_sample(Dur::from_millis(36), Dur::ZERO);
+    let mut now = Time::ZERO;
+    bench("cubic_on_ack", 1_000, 1_000_000, || {
+        now += Dur::from_micros(500);
+        cubic.on_ack(now, now - Dur::from_millis(36), 1350, &rtt, 100_000, false);
+        black_box(cubic.cwnd());
     });
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
     let labels = ["Init", "SlowStart", "CongestionAvoidance", "Recovery"];
     let traces: Vec<Trace> = (0..20)
         .map(|k| {
@@ -90,45 +103,34 @@ fn bench_inference(c: &mut Criterion) {
             Trace::new(visits, Time::ZERO + Dur::from_millis(500))
         })
         .collect();
-    c.bench_function("statemachine_infer_20x50", |b| {
-        b.iter(|| black_box(infer(&traces)))
+    bench("statemachine_infer_20x50", 5, 200, || {
+        black_box(infer(&traces));
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.bench_function("quic_100kb_page_load", |b| {
-        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024))
-            .with_rounds(1);
-        b.iter(|| {
-            black_box(run_page_load(
-                &ProtoConfig::Quic(QuicConfig::default()),
-                &sc,
-                0,
-            ))
-        })
+fn bench_end_to_end() {
+    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024)).with_rounds(1);
+    bench("quic_100kb_page_load", 2, 10, || {
+        black_box(run_page_load(
+            &ProtoConfig::Quic(QuicConfig::default()),
+            &sc,
+            0,
+        ));
     });
-    group.bench_function("tcp_100kb_page_load", |b| {
-        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024))
-            .with_rounds(1);
-        b.iter(|| {
-            black_box(run_page_load(
-                &ProtoConfig::Tcp(TcpConfig::default()),
-                &sc,
-                0,
-            ))
-        })
+    bench("tcp_100kb_page_load", 2, 10, || {
+        black_box(run_page_load(
+            &ProtoConfig::Tcp(TcpConfig::default()),
+            &sc,
+            0,
+        ));
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_wire,
-    bench_link,
-    bench_cubic,
-    bench_inference,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    println!("longlook microbench (std harness; mean over fixed iteration budget)");
+    bench_wire();
+    bench_link();
+    bench_cubic();
+    bench_inference();
+    bench_end_to_end();
+}

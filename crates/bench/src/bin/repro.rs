@@ -4,17 +4,22 @@
 //! repro list            # show all experiment ids
 //! repro fig6a           # run one experiment, print + save to results/
 //! repro all             # run everything
+//! repro -j 4 fig6a      # shard experiment cells across 4 threads
 //! ```
 //!
 //! Set `LONGLOOK_ROUNDS` to lower the per-measurement rounds (default 10)
-//! for quicker smoke runs.
+//! for quicker smoke runs. Experiment cells are sharded across worker
+//! threads (`LONGLOOK_JOBS` or `-j N`; default: all hardware threads) —
+//! results are bit-identical to a serial run regardless of the setting.
 
 use longlook_bench::{list_experiments, run_experiment};
+use longlook_core::runner::Parallelism;
 use std::io::Write as _;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment-id>|list|all");
+    eprintln!("usage: repro [-j N] <experiment-id>|list|all");
+    eprintln!("  -j N   shard cells across N threads (or set LONGLOOK_JOBS; 1 = serial)");
     eprintln!("experiments:");
     for (id, desc) in list_experiments() {
         eprintln!("  {id:<18} {desc}");
@@ -55,7 +60,10 @@ fn run_one(id: &str) -> bool {
         Some(body) => {
             println!("==================== {id} ====================");
             println!("{body}");
-            println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+            println!(
+                "[{id} completed in {:.1}s]\n",
+                started.elapsed().as_secs_f64()
+            );
             save(id, &body);
             true
         }
@@ -67,7 +75,22 @@ fn run_one(id: &str) -> bool {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `-j N` sets the worker count for this process (same knob as the
+    // LONGLOOK_JOBS environment variable).
+    if args.first().map(String::as_str) == Some("-j") {
+        if args.len() < 2 {
+            usage();
+        }
+        let n: usize = args[1].parse().unwrap_or_else(|_| usage());
+        std::env::set_var(Parallelism::JOBS_ENV, n.to_string());
+        args.drain(..2);
+    }
+    eprintln!(
+        "[parallelism: {} worker thread(s); override with -j N or {}=N]",
+        Parallelism::auto().jobs(),
+        Parallelism::JOBS_ENV,
+    );
     match args.first().map(String::as_str) {
         None | Some("list") => usage(),
         Some("all") => {

@@ -18,22 +18,29 @@ pub fn nack() -> String {
     let page = PageSpec::single(10 * 1024 * 1024);
     let variants: Vec<(&str, QuicConfig)> = vec![
         ("fixed threshold 3", QuicConfig::default()),
-        ("fixed threshold 25", {
-            let mut c = QuicConfig::default();
-            c.nack_threshold = 25;
-            c
-        }),
-        ("adaptive (DSACK-like)", {
-            let mut c = QuicConfig::default();
-            c.adaptive_nack = true;
-            c
-        }),
-        ("time-based (1.25 sRTT)", {
-            let mut c = QuicConfig::default();
-            c.nack_threshold = 1000; // effectively disable nack counting
-            c.time_loss_detection = true;
-            c
-        }),
+        (
+            "fixed threshold 25",
+            QuicConfig {
+                nack_threshold: 25,
+                ..QuicConfig::default()
+            },
+        ),
+        (
+            "adaptive (DSACK-like)",
+            QuicConfig {
+                adaptive_nack: true,
+                ..QuicConfig::default()
+            },
+        ),
+        (
+            "time-based (1.25 sRTT)",
+            QuicConfig {
+                // A huge threshold effectively disables nack counting.
+                nack_threshold: 1000,
+                time_loss_detection: true,
+                ..QuicConfig::default()
+            },
+        ),
     ];
     let _ = writeln!(
         out,
@@ -45,13 +52,22 @@ pub fn nack() -> String {
         let mut plt = Summary::new();
         let mut losses = Summary::new();
         let mut spurious = Summary::new();
-        for k in 0..rounds() {
+        // Rounds are independent worlds: shard them, then fold the
+        // summaries in round order so the printed stats are identical to
+        // a serial sweep.
+        let recs = run_ordered(Parallelism::auto(), rounds() as usize, |k| {
+            let k = k as u64;
             let sc = Scenario::new(net.clone(), page.clone())
                 .with_rounds(1)
                 .with_seed(2100 + k);
             let rec = run_page_load(&proto, &sc, k);
-            plt.add(rec.plt.unwrap_or(sc.deadline).as_millis_f64());
-            let st = rec.server_stats.unwrap_or_default();
+            (
+                rec.plt.unwrap_or(sc.deadline).as_millis_f64(),
+                rec.server_stats.unwrap_or_default(),
+            )
+        });
+        for (plt_ms, st) in recs {
+            plt.add(plt_ms);
             losses.add(st.losses_detected as f64);
             spurious.add(st.spurious_retransmissions as f64);
         }
@@ -89,13 +105,20 @@ pub fn hystart() -> String {
         let proto = ProtoConfig::Quic(cfg);
         let mut plt = Summary::new();
         let mut losses = Summary::new();
-        for k in 0..rounds().min(5) {
+        let recs = run_ordered(Parallelism::auto(), rounds().min(5) as usize, |k| {
+            let k = k as u64;
             let sc = Scenario::new(deep.clone(), PageSpec::single(20 * 1024 * 1024))
                 .with_rounds(1)
                 .with_seed(2200 + k);
             let rec = run_page_load(&proto, &sc, k);
-            plt.add(rec.plt.unwrap_or(sc.deadline).as_millis_f64());
-            losses.add(rec.server_stats.unwrap_or_default().losses_detected as f64);
+            (
+                rec.plt.unwrap_or(sc.deadline).as_millis_f64(),
+                rec.server_stats.unwrap_or_default().losses_detected as f64,
+            )
+        });
+        for (plt_ms, lost) in recs {
+            plt.add(plt_ms);
+            losses.add(lost);
         }
         let _ = writeln!(
             out,
@@ -106,9 +129,7 @@ pub fn hystart() -> String {
             losses.mean(),
         );
     }
-    out.push_str(
-        "\n(b) Many small objects (the paper's Sec 5.2 pathology):\n\n",
-    );
+    out.push_str("\n(b) Many small objects (the paper's Sec 5.2 pathology):\n\n");
     let _ = writeln!(
         out,
         "{:<12} | {:>10} | {:>14} | {:>14}",
@@ -147,9 +168,8 @@ pub fn hystart() -> String {
 
 /// Pacing on/off under loss at high bandwidth.
 pub fn pacing() -> String {
-    let mut out = String::from(
-        "Ablation — pacing and bursty losses (10 MB @ 100 Mbps, small buffer)\n\n",
-    );
+    let mut out =
+        String::from("Ablation — pacing and bursty losses (10 MB @ 100 Mbps, small buffer)\n\n");
     let net = NetProfile::baseline(100.0).with_buffer(64 * 1024);
     let page = PageSpec::single(10 * 1024 * 1024);
     let _ = writeln!(
@@ -158,18 +178,27 @@ pub fn pacing() -> String {
         "Pacing", "PLT ms (std)", "losses (mean)"
     );
     for pacing_on in [true, false] {
-        let mut cfg = QuicConfig::default();
-        cfg.pacing = pacing_on;
+        let cfg = QuicConfig {
+            pacing: pacing_on,
+            ..QuicConfig::default()
+        };
         let proto = ProtoConfig::Quic(cfg);
         let mut plt = Summary::new();
         let mut losses = Summary::new();
-        for k in 0..rounds() {
+        let recs = run_ordered(Parallelism::auto(), rounds() as usize, |k| {
+            let k = k as u64;
             let sc = Scenario::new(net.clone(), page.clone())
                 .with_rounds(1)
                 .with_seed(2300 + k);
             let rec = run_page_load(&proto, &sc, k);
-            plt.add(rec.plt.unwrap_or(sc.deadline).as_millis_f64());
-            losses.add(rec.server_stats.unwrap_or_default().losses_detected as f64);
+            (
+                rec.plt.unwrap_or(sc.deadline).as_millis_f64(),
+                rec.server_stats.unwrap_or_default().losses_detected as f64,
+            )
+        });
+        for (plt_ms, lost) in recs {
+            plt.add(plt_ms);
+            losses.add(lost);
         }
         let _ = writeln!(
             out,
@@ -199,14 +228,16 @@ pub fn nconn() -> String {
         cfg.cubic.num_connections = n;
         let mut q = Summary::new();
         let mut t = Summary::new();
-        for k in 0..rounds().min(5) {
-            let run = quic_vs_n_tcp(
+        let runs = run_ordered(Parallelism::auto(), rounds().min(5) as usize, |k| {
+            quic_vs_n_tcp(
                 &ProtoConfig::Quic(cfg.clone()),
                 &ProtoConfig::Tcp(TcpConfig::default()),
                 1,
                 Dur::from_secs(30),
-                2400 + k,
-            );
+                2400 + k as u64,
+            )
+        });
+        for run in &runs {
             q.add(run.flows[0].mean_mbps);
             t.add(run.flows[1].mean_mbps);
         }
@@ -235,7 +266,11 @@ pub fn bbr() -> String {
          ms over rounds)\n\n",
     );
     let scenarios = [
-        ("10MB @50Mbps clean", NetProfile::baseline(50.0), PageSpec::single(10 * 1024 * 1024)),
+        (
+            "10MB @50Mbps clean",
+            NetProfile::baseline(50.0),
+            PageSpec::single(10 * 1024 * 1024),
+        ),
         (
             "10MB @50Mbps 1% loss",
             NetProfile::baseline(50.0).with_loss(0.01),
@@ -251,8 +286,10 @@ pub fn bbr() -> String {
     for (label, net, page) in scenarios {
         let mut row = format!("{label:<22}");
         for cc in [CcKind::Cubic, CcKind::Bbr] {
-            let mut cfg = QuicConfig::default();
-            cfg.cc = cc;
+            let cfg = QuicConfig {
+                cc,
+                ..QuicConfig::default()
+            };
             let sc = Scenario::new(net.clone(), page.clone())
                 .with_rounds(rounds().min(5))
                 .with_seed(2500);

@@ -52,14 +52,35 @@ pub fn greybox() -> String {
          performance matches the reference (deployed) servers.\n\n",
     );
     let reference = reference_plt_ms(rounds().min(5), 21);
-    let _ = writeln!(out, "reference 10MB PLT (\"Google's servers\"): {reference:.0} ms\n");
+    let _ = writeln!(
+        out,
+        "reference 10MB PLT (\"Google's servers\"): {reference:.0} ms\n"
+    );
     let candidates = [
-        Candidate { macw: 107, ssthresh_fixed: false },
-        Candidate { macw: 107, ssthresh_fixed: true },
-        Candidate { macw: 215, ssthresh_fixed: false },
-        Candidate { macw: 215, ssthresh_fixed: true },
-        Candidate { macw: 430, ssthresh_fixed: false },
-        Candidate { macw: 430, ssthresh_fixed: true },
+        Candidate {
+            macw: 107,
+            ssthresh_fixed: false,
+        },
+        Candidate {
+            macw: 107,
+            ssthresh_fixed: true,
+        },
+        Candidate {
+            macw: 215,
+            ssthresh_fixed: false,
+        },
+        Candidate {
+            macw: 215,
+            ssthresh_fixed: true,
+        },
+        Candidate {
+            macw: 430,
+            ssthresh_fixed: false,
+        },
+        Candidate {
+            macw: 430,
+            ssthresh_fixed: true,
+        },
     ];
     let (best, err) = grey_box_search(reference, &candidates, rounds().min(5), 21);
     for c in candidates {

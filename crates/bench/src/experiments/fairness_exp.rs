@@ -99,19 +99,28 @@ pub fn fig5() -> String {
 
 /// Table 4: average throughputs over 10 runs for the three scenarios.
 pub fn table4() -> String {
-    let mut out = String::from(
-        "Table 4 — average throughput (5 Mbps link, buffer=30KB) when competing\n\n",
+    let mut out =
+        String::from("Table 4 — average throughput (5 Mbps link, buffer=30KB) when competing\n\n");
+    let _ = writeln!(
+        out,
+        "{:<16} | {:<7} | {:>22}",
+        "Scenario", "Flow", "Avg Mbps (std)"
     );
-    let _ = writeln!(out, "{:<16} | {:<7} | {:>22}", "Scenario", "Flow", "Avg Mbps (std)");
     let _ = writeln!(out, "{}-+---------+-----------------------", "-".repeat(16));
-    let scenarios: [(&str, usize); 3] =
-        [("QUIC vs TCP", 1), ("QUIC vs TCPx2", 2), ("QUIC vs TCPx4", 4)];
+    let scenarios: [(&str, usize); 3] = [
+        ("QUIC vs TCP", 1),
+        ("QUIC vs TCPx2", 2),
+        ("QUIC vs TCPx4", 4),
+    ];
     let mut quic_share_sum = 0.0;
     for (name, n) in scenarios {
-        // Aggregate across rounds.
+        // Each round is an independent world: shard rounds, then
+        // aggregate in round order (identical output to a serial sweep).
         let mut per_flow: Vec<Summary> = vec![Summary::new(); n + 1];
-        for k in 0..rounds() {
-            let run = quic_vs_n_tcp(&quic(), &tcp(), n, Dur::from_secs(RUN_SECS), 41 + k);
+        let runs = run_ordered(Parallelism::auto(), rounds() as usize, |k| {
+            quic_vs_n_tcp(&quic(), &tcp(), n, Dur::from_secs(RUN_SECS), 41 + k as u64)
+        });
+        for run in &runs {
             for (i, f) in run.flows.iter().enumerate() {
                 per_flow[i].add(f.mean_mbps);
             }

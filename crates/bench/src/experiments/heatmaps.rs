@@ -121,7 +121,8 @@ pub fn fig8() -> String {
         ("+50ms RTT", |n| n.with_extra_rtt(Dur::from_millis(50))),
         ("+100ms RTT", |n| n.with_extra_rtt(Dur::from_millis(100))),
         ("±10ms jitter (variable delay)", |n| {
-            n.with_extra_rtt(Dur::from_millis(76)).with_jitter(Dur::from_millis(10))
+            n.with_extra_rtt(Dur::from_millis(76))
+                .with_jitter(Dur::from_millis(10))
         }),
     ];
     for (pi, (label, imp)) in impairments.iter().enumerate() {
@@ -249,8 +250,7 @@ pub fn fig15() -> String {
             |r, c| {
                 let (_, rate, extra_ms) = rows[r];
                 Scenario::new(
-                    NetProfile::baseline(rate)
-                        .with_extra_rtt(Dur::from_millis(extra_ms)),
+                    NetProfile::baseline(rate).with_extra_rtt(Dur::from_millis(extra_ms)),
                     size_page(c),
                 )
                 .with_rounds(rounds())
@@ -314,8 +314,7 @@ pub fn fig17() -> String {
 pub fn fig18() -> String {
     let mut out = String::new();
     type Panel = (&'static str, fn(NetProfile) -> NetProfile);
-    let panels: [Panel; 2] =
-        [("no impairment", |n| n), ("1% loss", |n| n.with_loss(0.01))];
+    let panels: [Panel; 2] = [("no impairment", |n| n), ("1% loss", |n| n.with_loss(0.01))];
     for (pi, (label, imp)) in panels.iter().enumerate() {
         let map = sweep_heatmap_with(
             &format!("Fig 18 — QUIC direct vs proxied QUIC, {label}"),

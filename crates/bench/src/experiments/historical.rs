@@ -13,7 +13,11 @@ pub fn historical() -> String {
          configuration across QUIC versions\n\n",
     );
     let scenarios = [
-        ("1MB @ 10Mbps", NetProfile::baseline(10.0), PageSpec::single(1024 * 1024)),
+        (
+            "1MB @ 10Mbps",
+            NetProfile::baseline(10.0),
+            PageSpec::single(1024 * 1024),
+        ),
         (
             "10MB @ 100Mbps",
             NetProfile::baseline(100.0),

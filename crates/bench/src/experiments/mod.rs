@@ -20,7 +20,10 @@ pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
         ("greybox", "grey-box parameter search (Sec 4.1)"),
         ("fig3a", "inferred QUIC Cubic state machine"),
         ("fig3b", "inferred QUIC BBR state machine"),
-        ("fig4", "fairness throughput timelines (QUIC vs TCP / TCPx2)"),
+        (
+            "fig4",
+            "fairness throughput timelines (QUIC vs TCP / TCPx2)",
+        ),
         ("fig5", "congestion windows while competing"),
         ("table4", "average throughput when competing (10 runs)"),
         ("fig6a", "PLT heatmap: object size x rate"),
@@ -28,18 +31,30 @@ pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
         ("fig7", "QUIC 0-RTT benefit heatmap"),
         ("fig8", "PLT heatmaps with loss / delay / variable delay"),
         ("fig9", "cwnd over time at 100 Mbps, 1% loss"),
-        ("fig10", "reordering vs NACK threshold (10MB, 112ms RTT, 10ms jitter)"),
-        ("fig11", "variable bandwidth throughput (210MB, 50-150 Mbps)"),
+        (
+            "fig10",
+            "reordering vs NACK threshold (10MB, 112ms RTT, 10ms jitter)",
+        ),
+        (
+            "fig11",
+            "variable bandwidth throughput (210MB, 50-150 Mbps)",
+        ),
         ("fig12", "mobile heatmaps (Nexus6, MotoG)"),
         ("fig13", "state machines: Desktop vs MotoG, 50 Mbps"),
-        ("table5", "cellular network characteristics (emulated vs target)"),
+        (
+            "table5",
+            "cellular network characteristics (emulated vs target)",
+        ),
         ("fig14", "cellular heatmaps (Verizon/Sprint 3G/LTE)"),
         ("table6", "video QoE at 100 Mbps + 1% loss"),
         ("fig15", "QUIC 37 with MACW 430 vs 2000"),
         ("historical", "PLT across QUIC versions 25-37"),
         ("fig17", "QUIC vs proxied TCP"),
         ("fig18", "QUIC direct vs proxied QUIC"),
-        ("ablation_nack", "NACK threshold: fixed vs adaptive vs time-based"),
+        (
+            "ablation_nack",
+            "NACK threshold: fixed vs adaptive vs time-based",
+        ),
         ("ablation_hystart", "HyStart on/off for many small objects"),
         ("ablation_pacing", "pacing on/off under loss"),
         ("ablation_nconn", "N-connection emulation vs fairness"),

@@ -29,13 +29,19 @@ fn trace_scenarios() -> Vec<Scenario> {
         Scenario::new(NetProfile::baseline(5.0), PageSpec::uniform(100, 10 * 1024))
             .with_rounds(2)
             .with_seed(304),
-        Scenario::new(NetProfile::baseline(100.0), PageSpec::single(10 * 1024 * 1024))
-            .with_rounds(2)
-            .with_seed(305),
+        Scenario::new(
+            NetProfile::baseline(100.0),
+            PageSpec::single(10 * 1024 * 1024),
+        )
+        .with_rounds(2)
+        .with_seed(305),
     ]
 }
 
-fn machine_for(proto: &ProtoConfig, scenarios: &[Scenario]) -> longlook_statemachine::InferredMachine {
+fn machine_for(
+    proto: &ProtoConfig,
+    scenarios: &[Scenario],
+) -> longlook_statemachine::InferredMachine {
     let mut records = Vec::new();
     for sc in scenarios {
         records.extend(run_records(proto, sc));
@@ -45,10 +51,12 @@ fn machine_for(proto: &ProtoConfig, scenarios: &[Scenario]) -> longlook_statemac
 
 /// Fig 3a: the inferred Cubic state machine across all configurations.
 pub fn fig3a() -> String {
-    let machine = machine_for(&ProtoConfig::Quic(QuicConfig::default()), &trace_scenarios());
-    let mut out = String::from(
-        "Fig 3a — QUIC (Cubic) state machine inferred from execution traces\n\n",
+    let machine = machine_for(
+        &ProtoConfig::Quic(QuicConfig::default()),
+        &trace_scenarios(),
     );
+    let mut out =
+        String::from("Fig 3a — QUIC (Cubic) state machine inferred from execution traces\n\n");
     out.push_str(&machine.render_text());
     let _ = writeln!(out, "\nmined invariants ({}):", machine.invariants.len());
     for inv in machine.invariants.iter().take(20) {
@@ -64,12 +72,17 @@ pub fn fig3a() -> String {
 
 /// Fig 3b: the experimental BBR implementation's state machine.
 pub fn fig3b() -> String {
-    let mut cfg = QuicConfig::default();
-    cfg.cc = CcKind::Bbr;
+    let cfg = QuicConfig {
+        cc: CcKind::Bbr,
+        ..QuicConfig::default()
+    };
     let scenarios = vec![
-        Scenario::new(NetProfile::baseline(10.0), PageSpec::single(5 * 1024 * 1024))
-            .with_rounds(2)
-            .with_seed(311),
+        Scenario::new(
+            NetProfile::baseline(10.0),
+            PageSpec::single(5 * 1024 * 1024),
+        )
+        .with_rounds(2)
+        .with_seed(311),
         Scenario::new(
             NetProfile::baseline(50.0).with_loss(0.005),
             PageSpec::single(20 * 1024 * 1024),
@@ -78,9 +91,8 @@ pub fn fig3b() -> String {
         .with_seed(312),
     ];
     let machine = machine_for(&ProtoConfig::Quic(cfg), &scenarios);
-    let mut out = String::from(
-        "Fig 3b — QUIC (experimental BBR) state machine inferred from traces\n\n",
-    );
+    let mut out =
+        String::from("Fig 3b — QUIC (experimental BBR) state machine inferred from traces\n\n");
     out.push_str(&machine.render_text());
     out.push_str("\nGraphviz DOT (also written to results/fig3b.dot):\n");
     out.push_str(&machine.to_dot("QUIC BBR (Fig 3b)"));

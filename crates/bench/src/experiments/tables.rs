@@ -6,7 +6,10 @@ use std::fmt::Write as _;
 
 /// Table 1: related-work matrix.
 pub fn table1() -> String {
-    format!("Table 1 — contributions vs prior work\n\n{}", render_table1())
+    format!(
+        "Table 1 — contributions vs prior work\n\n{}",
+        render_table1()
+    )
 }
 
 /// Table 2: parameter space.

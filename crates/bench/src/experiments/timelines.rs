@@ -70,8 +70,10 @@ pub fn fig10() -> String {
         "Sender", "PLT ms (std)", "false loss", "spurious rtx"
     );
     for threshold in [3u32, 10, 25, 50] {
-        let mut cfg = QuicConfig::default();
-        cfg.nack_threshold = threshold;
+        let cfg = QuicConfig {
+            nack_threshold: threshold,
+            ..QuicConfig::default()
+        };
         let proto = ProtoConfig::Quic(cfg);
         let mut plt = Summary::new();
         let mut losses = Summary::new();
@@ -141,12 +143,7 @@ pub fn fig11() -> String {
             // down-shifts in rate overflow it, and recovery speed decides
             // the average throughput.
             let mut net = NetProfile::baseline(100.0).with_buffer(100 * 1024);
-            net.rate = RateSchedule::random_hold_mbps(
-                50.0,
-                150.0,
-                Dur::from_secs(1),
-                1100 + k,
-            );
+            net.rate = RateSchedule::random_hold_mbps(50.0, 150.0, Dur::from_secs(1), 1100 + k);
             let catalog = PageSpec::single(210 * 1024 * 1024);
             let mut tb = Testbed::direct(
                 1100 + k,
@@ -172,8 +169,7 @@ pub fn fig11() -> String {
             };
             acc.add(mean);
             if k == 0 {
-                let series: Vec<String> =
-                    tl.iter().map(|v| format!("{v:3.0}")).collect();
+                let series: Vec<String> = tl.iter().map(|v| format!("{v:3.0}")).collect();
                 let _ = writeln!(out, "{:<5} Mbps/s: {}", proto.name(), series.join(" "));
             }
         }

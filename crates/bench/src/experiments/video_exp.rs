@@ -42,7 +42,13 @@ pub fn table6() -> String {
     let _ = writeln!(
         out,
         "{:<8} {:<5} | {:>16} | {:>14} | {:>16} | {:>12} | {:>16}",
-        "Quality", "Proto", "start (s)", "loaded (%)", "buffer/play (%)", "#rebuffers", "rebuf/play-sec"
+        "Quality",
+        "Proto",
+        "start (s)",
+        "loaded (%)",
+        "buffer/play (%)",
+        "#rebuffers",
+        "rebuf/play-sec"
     );
     for q in QUALITIES {
         let cfg = VideoConfig::table6(q);

@@ -19,10 +19,9 @@ use longlook_quic::QuicConfig;
 use longlook_sim::time::Dur;
 use longlook_sim::DeviceProfile;
 use longlook_stats::Summary;
-use serde::Serialize;
 
 /// The three server profiles of Fig 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServerProfile {
     /// The public code release, unconfigured (MACW 107 + ssthresh bug).
     PublicDefault,
@@ -65,7 +64,7 @@ impl ServerProfile {
 }
 
 /// One Fig 2 bar: wait vs download split, averaged over rounds.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WaitDownloadSplit {
     /// Profile label.
     pub profile: &'static str,
@@ -119,7 +118,7 @@ pub fn fig2_measure(profile: ServerProfile, rounds: u64, base_seed: u64) -> Wait
 }
 
 /// One grey-box calibration candidate.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Candidate {
     /// Max allowed congestion window (packets).
     pub macw: u64,
@@ -131,8 +130,7 @@ impl Candidate {
     fn config(self) -> QuicConfig {
         let mut cfg = QuicConfig::default();
         cfg.cubic.max_cwnd_packets = Some(self.macw);
-        cfg.cubic.initial_ssthresh_packets =
-            if self.ssthresh_fixed { None } else { Some(38) };
+        cfg.cubic.initial_ssthresh_packets = if self.ssthresh_fixed { None } else { Some(38) };
         cfg
     }
 }
@@ -155,8 +153,7 @@ pub fn grey_box_search(
         let sc = Scenario::new(net.clone(), page.clone())
             .with_rounds(rounds)
             .with_seed(base_seed);
-        let samples =
-            crate::experiment::plt_samples(&ProtoConfig::Quic(cand.config()), &sc);
+        let samples = crate::experiment::plt_samples(&ProtoConfig::Quic(cand.config()), &sc);
         let mean = Summary::of(&samples).mean();
         let err = (mean - reference_plt_ms).abs();
         if best.as_ref().is_none_or(|(_, e)| err < *e) {
@@ -173,8 +170,7 @@ pub fn reference_plt_ms(rounds: u64, base_seed: u64) -> f64 {
     let sc = Scenario::new(net, PageSpec::single(10 * 1024 * 1024))
         .with_rounds(rounds)
         .with_seed(base_seed ^ 0x600613); // "Google"
-    let samples =
-        crate::experiment::plt_samples(&ProtoConfig::Quic(QuicConfig::default()), &sc);
+    let samples = crate::experiment::plt_samples(&ProtoConfig::Quic(QuicConfig::default()), &sc);
     Summary::of(&samples).mean()
 }
 

@@ -14,10 +14,9 @@ use crate::testbed::NetProfile;
 use longlook_sim::link::{Jitter, ReorderSpec};
 use longlook_sim::schedule::RateSchedule;
 use longlook_sim::time::Dur;
-use serde::Serialize;
 
 /// One measured cellular network.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CellProfile {
     /// Carrier + technology label.
     pub name: &'static str,
@@ -83,7 +82,9 @@ impl CellProfile {
         p.rate = RateSchedule::fixed_mbps(self.throughput_mbps);
         p.rtt = Dur::from_millis(self.rtt_ms);
         p.loss = self.loss;
-        p.jitter = Jitter::Normal(Dur::from_micros((self.rtt_std_ms * 1000 / 20).clamp(200, 2_000)));
+        p.jitter = Jitter::Normal(Dur::from_micros(
+            (self.rtt_std_ms * 1000 / 20).clamp(200, 2_000),
+        ));
         if self.reordering > 0.0 {
             // Hold a packet long enough for at least one successor to
             // pass it even on sub-Mbps links.
@@ -114,12 +115,9 @@ impl CellProfile {
 
 /// Render Table 5.
 pub fn render_table5() -> String {
-    let mut out = String::from(
-        "Network      | Thrghpt (Mbps) | RTT ms (std) | Reordering (%) | Loss (%)\n",
-    );
-    out.push_str(
-        "-------------+----------------+--------------+----------------+---------\n",
-    );
+    let mut out =
+        String::from("Network      | Thrghpt (Mbps) | RTT ms (std) | Reordering (%) | Loss (%)\n");
+    out.push_str("-------------+----------------+--------------+----------------+---------\n");
     for p in CELL_PROFILES {
         out.push_str(&format!(
             "{:<12} | {:>14.2} | {:>7} ({:>2}) | {:>14.2} | {:.2}\n",

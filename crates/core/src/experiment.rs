@@ -9,6 +9,7 @@
 //! the identical network realization — which is a paired design stronger
 //! than the paper's wall-clock adjacency.
 
+use crate::runner::{run_ordered, Parallelism};
 use crate::testbed::{FlowSpec, NetProfile, ProxyTestbed, Testbed};
 use longlook_http::app::WebClient;
 use longlook_http::host::ProtoConfig;
@@ -77,7 +78,10 @@ impl Scenario {
     }
 }
 
-/// Everything one run produces.
+/// Everything one run produces. `PartialEq` compares every field, which
+/// is what the determinism-equivalence suite relies on: two runs are
+/// "identical" only if every counter, trace visit, and cwnd sample agrees.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Page load time; `None` if the deadline expired first.
     pub plt: Option<Dur>,
@@ -167,21 +171,34 @@ pub fn run_page_load_proxied(
 }
 
 /// PLT samples in milliseconds over all rounds (deadline misses are
-/// recorded at the deadline — a conservative penalty).
+/// recorded at the deadline — a conservative penalty). Rounds are sharded
+/// across [`Parallelism::auto`] workers; results keep round order.
 pub fn plt_samples(proto: &ProtoConfig, sc: &Scenario) -> Vec<f64> {
-    (0..sc.rounds)
-        .map(|k| {
-            run_page_load(proto, sc, k)
-                .plt
-                .unwrap_or(sc.deadline)
-                .as_millis_f64()
-        })
-        .collect()
+    plt_samples_par(proto, sc, Parallelism::auto())
 }
 
-/// Full records over all rounds.
+/// [`plt_samples`] under an explicit parallelism policy.
+pub fn plt_samples_par(proto: &ProtoConfig, sc: &Scenario, par: Parallelism) -> Vec<f64> {
+    run_ordered(par, sc.rounds as usize, |k| {
+        run_page_load(proto, sc, k as u64)
+            .plt
+            .unwrap_or(sc.deadline)
+            .as_millis_f64()
+    })
+}
+
+/// Full records over all rounds, sharded across [`Parallelism::auto`]
+/// workers; the returned vector is in round order regardless of which
+/// worker ran which round.
 pub fn run_records(proto: &ProtoConfig, sc: &Scenario) -> Vec<RunRecord> {
-    (0..sc.rounds).map(|k| run_page_load(proto, sc, k)).collect()
+    run_records_par(proto, sc, Parallelism::auto())
+}
+
+/// [`run_records`] under an explicit parallelism policy.
+pub fn run_records_par(proto: &ProtoConfig, sc: &Scenario, par: Parallelism) -> Vec<RunRecord> {
+    run_ordered(par, sc.rounds as usize, |k| {
+        run_page_load(proto, sc, k as u64)
+    })
 }
 
 /// A finished QUIC-vs-TCP comparison for one scenario.
@@ -196,8 +213,28 @@ pub struct PairResult {
 
 /// Run both protocols back-to-back and compare PLTs.
 pub fn compare_pair(quic: &ProtoConfig, tcp: &ProtoConfig, sc: &Scenario) -> PairResult {
-    let quic_ms = plt_samples(quic, sc);
-    let tcp_ms = plt_samples(tcp, sc);
+    compare_pair_par(quic, tcp, sc, Parallelism::auto())
+}
+
+/// [`compare_pair`] under an explicit parallelism policy. Both protocols'
+/// rounds go into one shard pool (2×rounds independent cells), so the
+/// worker set stays busy even when one protocol's runs are much slower.
+pub fn compare_pair_par(
+    quic: &ProtoConfig,
+    tcp: &ProtoConfig,
+    sc: &Scenario,
+    par: Parallelism,
+) -> PairResult {
+    let n = sc.rounds as usize;
+    let mut all = run_ordered(par, 2 * n, |i| {
+        let (proto, k) = if i < n { (quic, i) } else { (tcp, i - n) };
+        run_page_load(proto, sc, k as u64)
+            .plt
+            .unwrap_or(sc.deadline)
+            .as_millis_f64()
+    });
+    let tcp_ms = all.split_off(n);
+    let quic_ms = all;
     PairResult {
         comparison: Comparison::lower_is_better(&quic_ms, &tcp_ms),
         quic_ms,
@@ -206,42 +243,141 @@ pub fn compare_pair(quic: &ProtoConfig, tcp: &ProtoConfig, sc: &Scenario) -> Pai
 }
 
 /// Sweep a full heatmap: rows x columns of scenarios, one Welch-gated
-/// cell each. `make_scenario(row, col)` builds the scenario.
+/// cell each. `make_scenario(row, col)` builds the scenario (serially, so
+/// it may be stateful); the `(cell, protocol, round)` runs themselves are
+/// sharded across [`Parallelism::auto`] workers.
 pub fn sweep_heatmap(
     title: &str,
     row_labels: &[String],
     col_labels: &[String],
     quic: &ProtoConfig,
     tcp: &ProtoConfig,
-    mut make_scenario: impl FnMut(usize, usize) -> Scenario,
+    make_scenario: impl FnMut(usize, usize) -> Scenario,
 ) -> Heatmap {
-    let mut map = Heatmap::new(title, row_labels.to_vec(), col_labels.to_vec());
+    sweep_heatmap_par(
+        title,
+        row_labels,
+        col_labels,
+        quic,
+        tcp,
+        make_scenario,
+        Parallelism::auto(),
+    )
+}
+
+/// [`sweep_heatmap`] under an explicit parallelism policy. The whole
+/// matrix is flattened into one `(cell, protocol, round)` work list so a
+/// single slow cell cannot straggle behind a per-cell partition; samples
+/// are reassembled into per-cell round order before the Welch gate runs,
+/// which makes the verdicts bit-identical to a serial sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_heatmap_par(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    quic: &ProtoConfig,
+    tcp: &ProtoConfig,
+    mut make_scenario: impl FnMut(usize, usize) -> Scenario,
+    par: Parallelism,
+) -> Heatmap {
+    let ncols = col_labels.len();
+    let mut scenarios = Vec::with_capacity(row_labels.len() * ncols);
     for r in 0..row_labels.len() {
-        for c in 0..col_labels.len() {
-            let sc = make_scenario(r, c);
-            let pair = compare_pair(quic, tcp, &sc);
-            map.set(r, c, HeatmapCell::from_comparison(&pair.comparison));
+        for c in 0..ncols {
+            scenarios.push(make_scenario(r, c));
         }
+    }
+
+    // Flatten to (scenario, candidate?, round) cells, candidate (QUIC)
+    // rounds first within each scenario — the same sample order the
+    // serial `compare_pair` produced.
+    let mut cells = Vec::new();
+    for (s, sc) in scenarios.iter().enumerate() {
+        for cand in [true, false] {
+            for k in 0..sc.rounds {
+                cells.push((s, cand, k));
+            }
+        }
+    }
+    let samples = run_ordered(par, cells.len(), |i| {
+        let (s, cand, k) = cells[i];
+        let sc = &scenarios[s];
+        let proto = if cand { quic } else { tcp };
+        run_page_load(proto, sc, k)
+            .plt
+            .unwrap_or(sc.deadline)
+            .as_millis_f64()
+    });
+
+    let mut map = Heatmap::new(title, row_labels.to_vec(), col_labels.to_vec());
+    let mut pos = 0;
+    for (s, sc) in scenarios.iter().enumerate() {
+        let n = sc.rounds as usize;
+        let quic_ms = &samples[pos..pos + n];
+        let tcp_ms = &samples[pos + n..pos + 2 * n];
+        pos += 2 * n;
+        let cmp = Comparison::lower_is_better(quic_ms, tcp_ms);
+        map.set(s / ncols, s % ncols, HeatmapCell::from_comparison(&cmp));
     }
     map
 }
 
 /// Generic sweep comparing any two PLT-producing closures (used for
 /// QUIC-vs-QUIC ablations like Fig 7's 0-RTT on/off and the proxy
-/// figures). `run(candidate?, row, col, round)` returns a PLT in ms.
+/// figures). `run(candidate?, row, col, round)` returns a PLT in ms; it
+/// must be thread-safe because rounds are sharded across
+/// [`Parallelism::auto`] workers.
 pub fn sweep_heatmap_with(
     title: &str,
     row_labels: &[String],
     col_labels: &[String],
     rounds: u64,
-    mut run: impl FnMut(bool, usize, usize, u64) -> f64,
+    run: impl Fn(bool, usize, usize, u64) -> f64 + Sync,
 ) -> Heatmap {
-    let mut map = Heatmap::new(title, row_labels.to_vec(), col_labels.to_vec());
+    sweep_heatmap_with_par(
+        title,
+        row_labels,
+        col_labels,
+        rounds,
+        run,
+        Parallelism::auto(),
+    )
+}
+
+/// [`sweep_heatmap_with`] under an explicit parallelism policy.
+pub fn sweep_heatmap_with_par(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    rounds: u64,
+    run: impl Fn(bool, usize, usize, u64) -> f64 + Sync,
+    par: Parallelism,
+) -> Heatmap {
+    let ncols = col_labels.len();
+    let mut cells = Vec::new();
     for r in 0..row_labels.len() {
-        for c in 0..col_labels.len() {
-            let cand: Vec<f64> = (0..rounds).map(|k| run(true, r, c, k)).collect();
-            let base: Vec<f64> = (0..rounds).map(|k| run(false, r, c, k)).collect();
-            let cmp = Comparison::lower_is_better(&cand, &base);
+        for c in 0..ncols {
+            for cand in [true, false] {
+                for k in 0..rounds {
+                    cells.push((r, c, cand, k));
+                }
+            }
+        }
+    }
+    let samples = run_ordered(par, cells.len(), |i| {
+        let (r, c, cand, k) = cells[i];
+        run(cand, r, c, k)
+    });
+
+    let n = rounds as usize;
+    let mut map = Heatmap::new(title, row_labels.to_vec(), col_labels.to_vec());
+    let mut pos = 0;
+    for r in 0..row_labels.len() {
+        for c in 0..ncols {
+            let cand = &samples[pos..pos + n];
+            let base = &samples[pos + n..pos + 2 * n];
+            pos += 2 * n;
+            let cmp = Comparison::lower_is_better(cand, base);
             map.set(r, c, HeatmapCell::from_comparison(&cmp));
         }
     }
@@ -265,8 +401,8 @@ mod tests {
 
     #[test]
     fn single_run_produces_full_record() {
-        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
-            .with_rounds(1);
+        let sc =
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024)).with_rounds(1);
         let rec = run_page_load(&quic(), &sc, 0);
         assert!(rec.plt.is_some());
         assert!(rec.client_stats.packets_sent > 0);
@@ -279,11 +415,15 @@ mod tests {
 
     #[test]
     fn paired_comparison_small_object_quic_wins() {
-        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(10 * 1024))
-            .with_rounds(5);
+        let sc =
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(10 * 1024)).with_rounds(5);
         let pair = compare_pair(&quic(), &tcp(), &sc);
         assert_eq!(pair.comparison.verdict, Verdict::CandidateWins);
-        assert!(pair.comparison.percent > 20.0, "{}", pair.comparison.percent);
+        assert!(
+            pair.comparison.percent > 20.0,
+            "{}",
+            pair.comparison.percent
+        );
     }
 
     #[test]
@@ -291,17 +431,9 @@ mod tests {
         let rows = vec!["10Mbps".to_string()];
         let cols = vec!["10KB".to_string(), "100KB".to_string()];
         let sizes = [10 * 1024, 100 * 1024];
-        let map = sweep_heatmap(
-            "mini",
-            &rows,
-            &cols,
-            &quic(),
-            &tcp(),
-            |_r, c| {
-                Scenario::new(NetProfile::baseline(10.0), PageSpec::single(sizes[c]))
-                    .with_rounds(4)
-            },
-        );
+        let map = sweep_heatmap("mini", &rows, &cols, &quic(), &tcp(), |_r, c| {
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(sizes[c])).with_rounds(4)
+        });
         assert_eq!(map.cells.len(), 1);
         assert_eq!(map.cells[0].len(), 2);
         let (red, _, _) = map.verdict_counts();
@@ -310,8 +442,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
-            .with_rounds(2);
+        let sc =
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024)).with_rounds(2);
         assert_eq!(plt_samples(&quic(), &sc), plt_samples(&quic(), &sc));
     }
 }

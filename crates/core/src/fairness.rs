@@ -13,7 +13,6 @@ use longlook_http::host::ProtoConfig;
 use longlook_http::workload::PageSpec;
 use longlook_sim::time::{Dur, Time};
 use longlook_sim::DeviceProfile;
-use serde::Serialize;
 
 /// The paper's bottleneck for these tests.
 pub fn fairness_net() -> NetProfile {
@@ -21,7 +20,7 @@ pub fn fairness_net() -> NetProfile {
 }
 
 /// Result for one competing flow.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FlowThroughput {
     /// Flow label (e.g. "QUIC", "TCP 1").
     pub label: String,
@@ -32,7 +31,7 @@ pub struct FlowThroughput {
 }
 
 /// Result of one fairness run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FairnessRun {
     /// Per-flow outcomes, in the order the flows were specified.
     pub flows: Vec<FlowThroughput>,

@@ -43,6 +43,7 @@ pub mod experiment;
 pub mod fairness;
 pub mod params;
 pub mod rootcause;
+pub mod runner;
 pub mod testbed;
 pub mod versions;
 
@@ -53,14 +54,16 @@ pub mod prelude {
     };
     pub use crate::cellular::{render_table5, CellProfile, CELL_PROFILES};
     pub use crate::experiment::{
-        compare_pair, plt_samples, run_page_load, run_page_load_proxied, run_records,
-        sweep_heatmap, sweep_heatmap_with, PairResult, RunRecord, Scenario,
+        compare_pair, compare_pair_par, plt_samples, plt_samples_par, run_page_load,
+        run_page_load_proxied, run_records, run_records_par, sweep_heatmap, sweep_heatmap_par,
+        sweep_heatmap_with, sweep_heatmap_with_par, PairResult, RunRecord, Scenario,
     };
     pub use crate::fairness::{
         fairness_net, quic_vs_n_tcp, run_fairness, FairnessRun, FlowThroughput,
     };
     pub use crate::params::{render_table1, ParameterSpace};
     pub use crate::rootcause::{compare_machines, infer_from_records};
+    pub use crate::runner::{run_ordered, Parallelism};
     pub use crate::testbed::{FlowSpec, NetProfile, ProxyTestbed, Testbed};
     pub use crate::versions::QuicVersion;
     pub use longlook_http::app::{BulkClient, ClientApp, WebClient};

@@ -1,10 +1,8 @@
 //! The paper's experiment parameter space (Table 2) and the related-work
 //! comparison matrix (Table 1).
 
-use serde::Serialize;
-
 /// Table 2 — parameters used in the paper's tests.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ParameterSpace {
     /// Rate limits in Mbps.
     pub rate_limits_mbps: Vec<f64>,
@@ -81,7 +79,7 @@ impl ParameterSpace {
 }
 
 /// Table 1 — one row of the related-work comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RelatedWorkRow {
     /// Study name.
     pub study: &'static str,

@@ -82,8 +82,8 @@ mod tests {
 
     #[test]
     fn comparison_report_renders_both_columns() {
-        let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(200 * 1024))
-            .with_rounds(2);
+        let sc =
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(200 * 1024)).with_rounds(2);
         let records = run_records(&ProtoConfig::Quic(QuicConfig::default()), &sc);
         let m = infer_from_records(&records);
         let report = compare_machines("Desktop", &m, "MotoG", &m);

@@ -1,0 +1,185 @@
+//! Work-stealing parallel execution of independent experiment cells.
+//!
+//! The experiment matrix of Sec 3.3 — `(scenario, protocol, round)` cells,
+//! ≥ 10 rounds per scenario, swept over bandwidth × loss × RTT grids — is
+//! embarrassingly parallel: each cell is a self-contained [`World`]
+//! (crate `longlook-sim`) keyed only by its derived seed, sharing no
+//! state with any other cell. This module shards those cells across OS
+//! threads and reassembles results **in deterministic cell order**, so
+//! parallel execution is bit-identical to serial execution. That claim is
+//! not an assumption: the `determinism_equivalence` suite in
+//! `longlook-integration` regression-tests it field-for-field.
+//!
+//! Scheduling is dynamic self-scheduling (a shared atomic cursor): each
+//! worker repeatedly claims the next unclaimed cell index, so long cells
+//! (e.g. 10 MB transfers at 5 Mbps) do not straggle behind a static
+//! partition. Results flow back over an mpsc channel tagged with their
+//! cell index and are placed into their slot before any
+//! `longlook-stats` aggregation (Welch tests, heatmap cells) runs.
+//!
+//! No external crates: `std::thread`, `std::sync::atomic`, and
+//! `std::sync::mpsc` only (the build environment has no crate registry).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// How to execute a batch of independent experiment cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run every cell on the calling thread, in index order.
+    Serial,
+    /// Shard cells across this many worker threads (values ≤ 1 degrade
+    /// to [`Parallelism::Serial`]).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The environment variable overriding the default worker count.
+    pub const JOBS_ENV: &'static str = "LONGLOOK_JOBS";
+
+    /// Resolve the session default: `LONGLOOK_JOBS` if set (`0` or `1`
+    /// mean serial), otherwise one worker per available hardware thread.
+    pub fn auto() -> Self {
+        match std::env::var(Self::JOBS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(0) | Some(1) => Parallelism::Serial,
+            Some(n) => Parallelism::Threads(n),
+            None => Parallelism::Threads(
+                thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            ),
+        }
+    }
+
+    /// Worker count this policy resolves to (≥ 1).
+    pub fn jobs(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
+
+/// Execute `f(0..n)` under `par` and return results **in index order**.
+///
+/// `f` must be a pure function of its index for the determinism guarantee
+/// to hold (every experiment cell in this workspace is: the cell derives
+/// its own seed and builds its own `World`). Worker panics propagate to
+/// the caller once all workers have drained.
+pub fn run_ordered<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = par.jobs().min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, thread::Result<T>)>();
+    let mut slots: Vec<Option<T>> = thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Dynamic self-scheduling: claim the next unclaimed cell.
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Catch a cell's panic so its original payload reaches
+                // the caller (a bare scoped-thread panic would be
+                // replaced by "a scoped thread panicked").
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+                let failed = result.is_err();
+                // A send error means the collector is gone; just stop.
+                if tx.send((i, result)).is_err() || failed {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Reassemble in deterministic index order. The iterator ends when
+        // every worker has exited (all senders dropped).
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panic_payload = None;
+        for (i, result) in rx {
+            match result {
+                Ok(value) => slots[i] = Some(value),
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            };
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+    });
+
+    slots
+        .iter()
+        .for_each(|s| debug_assert!(s.is_some(), "worker skipped a cell"));
+    slots
+        .drain(..)
+        .map(|s| s.expect("every cell index was claimed and computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_threads_agree_on_order_and_values() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let serial = run_ordered(Parallelism::Serial, 100, f);
+        for jobs in [2, 4, 16] {
+            assert_eq!(serial, run_ordered(Parallelism::Threads(jobs), 100, f));
+        }
+    }
+
+    #[test]
+    fn handles_more_workers_than_cells() {
+        let out = run_ordered(Parallelism::Threads(32), 3, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn handles_empty_batch() {
+        let out: Vec<usize> = run_ordered(Parallelism::Threads(4), 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_cells_still_reassemble_in_order() {
+        // Make early indices slow so late indices finish first.
+        let out = run_ordered(Parallelism::Threads(4), 16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 7 exploded")]
+    fn worker_panic_propagates() {
+        let _ = run_ordered(Parallelism::Threads(4), 16, |i| {
+            assert!(i != 7, "cell {i} exploded");
+            i
+        });
+    }
+
+    #[test]
+    fn jobs_resolution() {
+        assert_eq!(Parallelism::Serial.jobs(), 1);
+        assert_eq!(Parallelism::Threads(0).jobs(), 1);
+        assert_eq!(Parallelism::Threads(6).jobs(), 6);
+    }
+}

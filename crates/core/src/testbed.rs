@@ -206,6 +206,7 @@ impl ProxyTestbed {
     /// Build with the proxy "located midway between client and server"
     /// (Fig 16): each leg gets half the RTT and the full rate/impairments
     /// of `net`.
+    #[allow(clippy::too_many_arguments)]
     pub fn midpoint(
         seed: u64,
         net: &NetProfile,

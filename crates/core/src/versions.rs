@@ -11,10 +11,9 @@
 //! * version 37 (Chromium 60): MACW raised to 2000, N = 1.
 
 use longlook_quic::QuicConfig;
-use serde::Serialize;
 
 /// A gQUIC protocol version in the paper's study range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QuicVersion {
     /// Oldest version testable with Chrome 52 (the paper's floor).
     V25,
@@ -48,7 +47,9 @@ impl QuicVersion {
     /// All versions in study order.
     pub fn all() -> Vec<QuicVersion> {
         use QuicVersion::*;
-        vec![V25, V26, V27, V28, V29, V30, V31, V32, V33, V34, V35, V36, V37]
+        vec![
+            V25, V26, V27, V28, V29, V30, V31, V32, V33, V34, V35, V36, V37,
+        ]
     }
 
     /// Numeric version.

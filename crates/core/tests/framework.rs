@@ -41,8 +41,7 @@ fn different_base_seeds_differ_under_loss() {
 #[test]
 fn rounds_vary_within_one_scenario() {
     // Per-round RTT noise means even a clean path's rounds differ.
-    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024))
-        .with_rounds(4);
+    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024)).with_rounds(4);
     let samples = plt_samples(&quic(), &sc);
     let all_same = samples.windows(2).all(|w| w[0] == w[1]);
     assert!(!all_same, "rounds should not be identical: {samples:?}");
@@ -50,8 +49,7 @@ fn rounds_vary_within_one_scenario() {
 
 #[test]
 fn cold_scenario_disables_zero_rtt() {
-    let warm = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(5 * 1024))
-        .with_rounds(3);
+    let warm = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(5 * 1024)).with_rounds(3);
     let cold = warm.clone().cold();
     let w = Summary::of(&plt_samples(&quic(), &warm));
     let c = Summary::of(&plt_samples(&quic(), &cold));
@@ -95,8 +93,7 @@ fn versions_share_results_below_37() {
 fn proxied_run_matches_direct_topology_semantics() {
     // A QUIC-through-proxy load completes and takes at least as long as a
     // direct one with warm 0-RTT (the proxy cannot use 0-RTT upstream).
-    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
-        .with_rounds(1);
+    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024)).with_rounds(1);
     let direct = run_page_load(&quic(), &sc, 0).plt.expect("direct");
     let proxied = run_page_load_proxied(&quic(), &quic(), &sc, 0).expect("proxied");
     assert!(
@@ -110,10 +107,12 @@ fn server_profiles_order_as_figure2() {
     let cal = fig2_measure(ServerProfile::Calibrated, 3, 5);
     let gae = fig2_measure(ServerProfile::GaeLike, 3, 5);
     let def = fig2_measure(ServerProfile::PublicDefault, 3, 5);
-    let total = |s: &longlook_core::calibration::WaitDownloadSplit| {
-        s.wait_ms.mean() + s.download_ms.mean()
-    };
-    assert!(total(&cal) < total(&def), "calibrated beats the public default");
+    let total =
+        |s: &longlook_core::calibration::WaitDownloadSplit| s.wait_ms.mean() + s.download_ms.mean();
+    assert!(
+        total(&cal) < total(&def),
+        "calibrated beats the public default"
+    );
     assert!(gae.wait_ms.mean() > 100.0, "GAE's variable wait is visible");
 }
 
@@ -123,8 +122,7 @@ fn heatmap_sweep_is_deterministic() {
     let cols = vec!["50KB".to_string()];
     let build = || {
         sweep_heatmap("det", &rows, &cols, &quic(), &tcp(), |_r, _c| {
-            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
-                .with_rounds(3)
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024)).with_rounds(3)
         })
     };
     let a = build();
@@ -135,8 +133,8 @@ fn heatmap_sweep_is_deterministic() {
 #[test]
 fn cellular_profiles_run_end_to_end() {
     for p in CELL_PROFILES {
-        let sc = Scenario::new(p.net_profile_for_run(9), PageSpec::single(50 * 1024))
-            .with_rounds(1);
+        let sc =
+            Scenario::new(p.net_profile_for_run(9), PageSpec::single(50 * 1024)).with_rounds(1);
         let rec = run_page_load(&quic(), &sc, 0);
         assert!(rec.plt.is_some(), "{} load incomplete", p.name);
     }

@@ -3,7 +3,6 @@
 use crate::workload::PageSpec;
 use longlook_sim::time::{Dur, Time};
 use longlook_transport::conn::{AppEvent, Connection, StreamId};
-use serde::Serialize;
 use std::any::Any;
 use std::collections::BTreeMap;
 
@@ -34,7 +33,7 @@ pub trait ClientApp: Any {
 
 /// Per-object resource timing, HAR-style (Sec 3.3: "we use Chrome's remote
 /// debugging protocol to load a page and then extract HARs").
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ResourceTiming {
     /// Object index in the page.
     pub object: usize,
@@ -290,9 +289,8 @@ impl ClientApp for BulkClient {
             AppEvent::StreamData { bytes, .. } => {
                 self.total += bytes;
                 let start = self.started_at.unwrap_or(Time::ZERO);
-                let idx =
-                    (now.saturating_since(start).as_nanos() / self.bucket.as_nanos().max(1))
-                        as usize;
+                let idx = (now.saturating_since(start).as_nanos() / self.bucket.as_nanos().max(1))
+                    as usize;
                 if self.buckets.len() <= idx {
                     self.buckets.resize(idx + 1, 0);
                 }

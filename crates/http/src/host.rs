@@ -58,22 +58,14 @@ impl ProtoConfig {
     /// Build a server-side connection.
     pub fn server_conn(&self, flow: FlowId, now: Time) -> Box<dyn Connection> {
         match self {
-            ProtoConfig::Quic(cfg) => {
-                Box::new(QuicConnection::server(cfg.clone(), flow.0, now))
-            }
+            ProtoConfig::Quic(cfg) => Box::new(QuicConnection::server(cfg.clone(), flow.0, now)),
             ProtoConfig::Tcp(cfg) => Box::new(TcpConnection::server(cfg.clone(), now)),
         }
     }
 }
 
 /// Pump a connection's transmissions into the world and re-arm its timer.
-fn pump(
-    conn: &mut dyn Connection,
-    ctx: &mut Ctx<'_>,
-    peer: NodeId,
-    flow: FlowId,
-    class: PktClass,
-) {
+fn pump(conn: &mut dyn Connection, ctx: &mut Ctx<'_>, peer: NodeId, flow: FlowId, class: PktClass) {
     let now = ctx.now;
     while let Some(tx) = conn.poll_transmit(now) {
         ctx.send(Packet::new(
@@ -202,8 +194,7 @@ impl ClientHost {
                 ctx.wake_at(w);
             }
         }
-        if self.stop_when_done && !self.stopped && !self.slots.is_empty() && self.all_done()
-        {
+        if self.stop_when_done && !self.stopped && !self.slots.is_empty() && self.all_done() {
             self.stopped = true;
             ctx.request_stop();
         }

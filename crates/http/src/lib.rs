@@ -51,8 +51,7 @@ mod world_tests {
         assert_eq!(s, server_id);
         let rtt = Dur::from_millis(36);
         let owd = Dur::from_millis(18);
-        let cfg = LinkConfig::shaped(RateSchedule::fixed_mbps(rate_mbps), owd, rtt)
-            .with_loss(loss);
+        let cfg = LinkConfig::shaped(RateSchedule::fixed_mbps(rate_mbps), owd, rtt).with_loss(loss);
         world.connect(c, s, cfg.clone(), cfg);
         world.kick(c);
         (world, c, s)
@@ -187,8 +186,22 @@ mod world_tests {
 
     #[test]
     fn deterministic_replay_same_seed() {
-        let a = run_plt(&quic(), PageSpec::uniform(5, 50 * 1024), true, 10.0, 0.01, 42);
-        let b = run_plt(&quic(), PageSpec::uniform(5, 50 * 1024), true, 10.0, 0.01, 42);
+        let a = run_plt(
+            &quic(),
+            PageSpec::uniform(5, 50 * 1024),
+            true,
+            10.0,
+            0.01,
+            42,
+        );
+        let b = run_plt(
+            &quic(),
+            PageSpec::uniform(5, 50 * 1024),
+            true,
+            10.0,
+            0.01,
+            42,
+        );
         assert_eq!(a, b);
     }
 
@@ -201,7 +214,14 @@ mod world_tests {
 
     #[test]
     fn high_bandwidth_large_object_uses_the_pipe() {
-        let plt = run_plt(&quic(), PageSpec::single(10 * 1024 * 1024), true, 100.0, 0.0, 8);
+        let plt = run_plt(
+            &quic(),
+            PageSpec::single(10 * 1024 * 1024),
+            true,
+            100.0,
+            0.0,
+            8,
+        );
         // 10MB at 100Mbps is 0.84s of serialization; allow startup slack.
         assert!(plt < Dur::from_millis(2500), "plt = {plt}");
     }

@@ -5,8 +5,6 @@
 //! crucially lets the paper isolate *number* of objects from *size* of
 //! objects, which prior work conflated.
 
-use serde::{Deserialize, Serialize};
-
 /// Base request size in bytes; an object's index is encoded as extra
 /// request bytes (`REQUEST_BASE + index`), which is how the synthetic
 /// request tells the server which catalog entry to serve.
@@ -16,7 +14,7 @@ pub const REQUEST_BASE: u64 = 200;
 pub const RESPONSE_HEADER: u64 = 100;
 
 /// A static web page: an ordered catalog of object sizes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageSpec {
     /// Object sizes in bytes.
     pub objects: Vec<u64>,

@@ -311,7 +311,14 @@ mod tests {
 
     #[test]
     fn proxied_multi_object_page() {
-        let plt = run_proxied(quic(), quic(), PageSpec::uniform(5, 50 * 1024), 10.0, 0.0, 3);
+        let plt = run_proxied(
+            quic(),
+            quic(),
+            PageSpec::uniform(5, 50 * 1024),
+            10.0,
+            0.0,
+            3,
+        );
         assert!(plt < Dur::from_secs(5), "plt = {plt}");
     }
 

@@ -14,10 +14,8 @@ use crate::wire::{Frame, HandshakeKind, QuicPacket, MAX_PACKET_PAYLOAD};
 use bytes::Bytes;
 use longlook_sim::time::{Dur, Time};
 use longlook_transport::cc::CongestionControl;
-use longlook_transport::ccstate::{CcState, StateTracker, StateTrace};
-use longlook_transport::conn::{
-    AppEvent, ConnStats, Connection, StreamId, Transmit, UDP_OVERHEAD,
-};
+use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
+use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, UDP_OVERHEAD};
 use longlook_transport::cubic::Cubic;
 use longlook_transport::pacing::Pacer;
 use longlook_transport::rtt::RttEstimator;
@@ -260,23 +258,17 @@ impl QuicConnection {
 
     fn on_handshake_frame(&mut self, kind: HandshakeKind, now: Time) {
         match (self.role, kind) {
-            (Role::Server, HandshakeKind::InchoateChlo) => {
-                if self.hs == Handshake::AwaitingChlo {
-                    self.hs_queue.push_back(HandshakeKind::Rej);
-                }
+            (Role::Server, HandshakeKind::InchoateChlo) if self.hs == Handshake::AwaitingChlo => {
+                self.hs_queue.push_back(HandshakeKind::Rej);
             }
-            (Role::Server, HandshakeKind::FullChlo) => {
-                if self.hs != Handshake::Established {
-                    self.establish(now);
-                    self.hs_queue.push_back(HandshakeKind::Shlo);
-                }
+            (Role::Server, HandshakeKind::FullChlo) if self.hs != Handshake::Established => {
+                self.establish(now);
+                self.hs_queue.push_back(HandshakeKind::Shlo);
             }
-            (Role::Client, HandshakeKind::Rej) => {
-                if self.hs == Handshake::AwaitingRej {
-                    self.learned_server_config = true;
-                    self.establish(now);
-                    self.hs_queue.push_back(HandshakeKind::FullChlo);
-                }
+            (Role::Client, HandshakeKind::Rej) if self.hs == Handshake::AwaitingRej => {
+                self.learned_server_config = true;
+                self.establish(now);
+                self.hs_queue.push_back(HandshakeKind::FullChlo);
             }
             (Role::Client, HandshakeKind::Shlo) => {
                 // Forward secure keys; nothing further to do in the model.
@@ -294,7 +286,8 @@ impl QuicConnection {
         let peer_initiated = (id % 2) != (self.next_stream_id % 2);
         if peer_initiated && !self.seen_peer_streams.contains_key(&id) {
             self.seen_peer_streams.insert(id, ());
-            self.events.push_back(AppEvent::StreamOpened(StreamId(id as u64)));
+            self.events
+                .push_back(AppEvent::StreamOpened(StreamId(id as u64)));
             self.stream_advertised.insert(id, self.stream_window);
             self.wu_queue.push_back((id, self.stream_window));
         }
@@ -308,8 +301,14 @@ impl QuicConnection {
             });
             self.maybe_queue_window_updates(id, now);
         }
-        if self.recv_streams.get_mut(&id).expect("just inserted").take_fin() {
-            self.events.push_back(AppEvent::StreamFin(StreamId(id as u64)));
+        if self
+            .recv_streams
+            .get_mut(&id)
+            .expect("just inserted")
+            .take_fin()
+        {
+            self.events
+                .push_back(AppEvent::StreamFin(StreamId(id as u64)));
             // A stream we initiated is finished by the peer: free an MSPC slot.
             if !peer_initiated {
                 self.open_initiated = self.open_initiated.saturating_sub(1);
@@ -344,8 +343,7 @@ impl QuicConnection {
         let target = delivered + self.stream_window;
         if target.saturating_sub(*adv) >= self.stream_window / 2 {
             if self.cfg.flow_auto_tune && fast(self.last_stream_update, self.rtt.srtt()) {
-                self.stream_window =
-                    (self.stream_window * 2).min(self.cfg.stream_recv_window_max);
+                self.stream_window = (self.stream_window * 2).min(self.cfg.stream_recv_window_max);
             }
             self.last_stream_update = Some(now);
             let target = delivered + self.stream_window;
@@ -672,10 +670,10 @@ impl Connection for QuicConnection {
                     if budget < 16 {
                         break;
                     }
-                    if !self
-                        .cc
-                        .can_send(self.sent.bytes_in_flight(), budget.min(self.cfg.mss as u32) as u64)
-                    {
+                    if !self.cc.can_send(
+                        self.sent.bytes_in_flight(),
+                        budget.min(self.cfg.mss as u32) as u64,
+                    ) {
                         break;
                     }
                     // Pacing gate applies to data only.
@@ -843,9 +841,7 @@ impl Connection for QuicConnection {
     }
 
     fn is_quiescent(&self) -> bool {
-        !self.sent.has_retransmittable()
-            && self.hs_queue.is_empty()
-            && !self.stream_data_pending()
+        !self.sent.has_retransmittable() && self.hs_queue.is_empty() && !self.stream_data_pending()
     }
 
     fn stats(&self) -> ConnStats {

@@ -232,8 +232,10 @@ mod loopback_tests {
 
     #[test]
     fn mspc_limits_concurrent_streams() {
-        let mut cfg = QuicConfig::default();
-        cfg.max_streams = 3;
+        let cfg = QuicConfig {
+            max_streams: 3,
+            ..QuicConfig::default()
+        };
         let mut c = QuicConnection::client(cfg, 1, true, Time::ZERO);
         assert!(c.open_stream(Time::ZERO).is_some());
         assert!(c.open_stream(Time::ZERO).is_some());
@@ -243,15 +245,22 @@ mod loopback_tests {
 
     #[test]
     fn stream_slots_free_when_peer_fins() {
-        let mut cfg = QuicConfig::default();
-        cfg.max_streams = 1;
+        let cfg = QuicConfig {
+            max_streams: 1,
+            ..QuicConfig::default()
+        };
         let mut c = QuicConnection::client(cfg.clone(), 9, true, Time::ZERO);
         let mut s = QuicConnection::server(cfg, 9, Time::ZERO);
         let id = c.open_stream(Time::ZERO).expect("first stream");
         c.stream_send(Time::ZERO, id, 100, true);
         assert!(c.open_stream(Time::ZERO).is_none());
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO + Dur::from_millis(200));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO + Dur::from_millis(200),
+        );
         // Server finishes the stream.
         s.stream_send(Time::ZERO + Dur::from_millis(200), id, 50, true);
         run(&mut c, &mut s, &mut pipe, Time::ZERO + Dur::from_secs(2));
@@ -301,8 +310,10 @@ mod loopback_tests {
 
     #[test]
     fn adaptive_nack_config_starts_at_default() {
-        let mut cfg = QuicConfig::default();
-        cfg.adaptive_nack = true;
+        let cfg = QuicConfig {
+            adaptive_nack: true,
+            ..QuicConfig::default()
+        };
         let c = QuicConnection::client(cfg, 2, true, Time::ZERO);
         assert_eq!(c.current_nack_threshold(), 3);
     }

@@ -100,8 +100,7 @@ impl AckTracker {
         if self.unacked_count == 0 {
             return false;
         }
-        self.unacked_count >= ack_every
-            || self.ack_deadline.is_some_and(|d| now >= d)
+        self.unacked_count >= ack_every || self.ack_deadline.is_some_and(|d| now >= d)
     }
 
     /// Delayed-ack deadline for the wakeup calculation.

@@ -147,8 +147,7 @@ impl SentTracker {
         // Collect newly acked pns present in our map.
         let mut acked: Vec<u64> = Vec::new();
         for &(start, end) in blocks {
-            let in_range: Vec<u64> =
-                self.packets.range(start..=end).map(|(&pn, _)| pn).collect();
+            let in_range: Vec<u64> = self.packets.range(start..=end).map(|(&pn, _)| pn).collect();
             acked.extend(in_range);
         }
         acked.sort_unstable();
@@ -157,8 +156,7 @@ impl SentTracker {
             let pkt = self.remove_in_flight(pn).expect("collected above");
             if pkt.retransmittable {
                 out.newly_acked_bytes += pkt.wire_bytes as u64;
-                out.acked_payload_bytes +=
-                    pkt.chunks.iter().map(|c| c.len as u64).sum::<u64>();
+                out.acked_payload_bytes += pkt.chunks.iter().map(|c| c.len as u64).sum::<u64>();
                 out.acked_new_data = true;
             }
             out.newest_acked_sent_at = Some(match out.newest_acked_sent_at {
@@ -195,8 +193,7 @@ impl SentTracker {
             }
             pkt.nacks += 1;
             let nack_lost = pkt.nacks >= nack_threshold;
-            let time_lost = time_threshold
-                .is_some_and(|th| now.saturating_since(pkt.sent_at) > th);
+            let time_lost = time_threshold.is_some_and(|th| now.saturating_since(pkt.sent_at) > th);
             if nack_lost || time_lost {
                 lost_pns.push(pn);
             }

@@ -108,7 +108,8 @@ impl SendStream {
             let take = len.min(budget);
             self.retransmit.remove(&offset);
             if take < len {
-                self.retransmit.insert(offset + take as u64, (len - take, fin));
+                self.retransmit
+                    .insert(offset + take as u64, (len - take, fin));
                 return Some(Chunk {
                     id: self.id,
                     offset,

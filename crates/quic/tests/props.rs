@@ -37,9 +37,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     blocks,
                 }
             }),
-        (any::<u32>(), any::<u64>()).prop_map(|(stream, max_offset)| {
-            Frame::WindowUpdate { stream, max_offset }
-        }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(stream, max_offset)| { Frame::WindowUpdate { stream, max_offset } }),
         (0u8..4, any::<u16>()).prop_map(|(k, pad)| Frame::Handshake {
             kind: match k {
                 0 => HandshakeKind::InchoateChlo,
@@ -137,6 +136,56 @@ proptest! {
             for pn in s..=e {
                 prop_assert!(pns.contains(&pn), "block covers unseen pn {pn}");
             }
+        }
+    }
+}
+
+proptest! {
+    /// Encoding is canonical: re-encoding a decoded packet reproduces the
+    /// exact byte sequence.
+    #[test]
+    fn encoding_is_canonical(
+        conn_id in any::<u64>(),
+        pn in any::<u64>(),
+        frames in proptest::collection::vec(arb_frame(), 0..8),
+    ) {
+        let pkt = QuicPacket { conn_id, pn, frames };
+        let bytes = pkt.encode();
+        let reencoded = QuicPacket::decode(bytes.clone()).expect("valid").encode();
+        prop_assert_eq!(reencoded.as_slice(), bytes.as_slice());
+    }
+
+    /// `wire_size` upper-bounds the materialized encoding (stream payload
+    /// and handshake padding are synthetic — accounted, not serialized).
+    #[test]
+    fn wire_size_bounds_encoding(
+        conn_id in any::<u64>(),
+        pn in any::<u64>(),
+        frames in proptest::collection::vec(arb_frame(), 0..8),
+    ) {
+        let pkt = QuicPacket { conn_id, pn, frames };
+        prop_assert!(pkt.encode().len() as u32 <= pkt.wire_size());
+    }
+
+    /// Truncating an encoding never panics; when the truncation happens to
+    /// land on a frame boundary the decode succeeds with a strict frame
+    /// prefix of the original packet, never with reordered or altered
+    /// frames.
+    #[test]
+    fn truncated_encoding_decodes_to_frame_prefix(
+        conn_id in any::<u64>(),
+        pn in any::<u64>(),
+        frames in proptest::collection::vec(arb_frame(), 0..8),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let pkt = QuicPacket { conn_id, pn, frames };
+        let bytes = pkt.encode();
+        let cut = cut.index(bytes.len() + 1);
+        if let Ok(dec) = QuicPacket::decode(bytes.slice(0..cut)) {
+            prop_assert_eq!(dec.conn_id, pkt.conn_id);
+            prop_assert_eq!(dec.pn, pkt.pn);
+            prop_assert!(dec.frames.len() <= pkt.frames.len());
+            prop_assert_eq!(&dec.frames[..], &pkt.frames[..dec.frames.len()]);
         }
     }
 }

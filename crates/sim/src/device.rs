@@ -11,10 +11,9 @@
 
 use crate::packet::PktClass;
 use crate::time::{Dur, Time};
-use serde::{Deserialize, Serialize};
 
 /// Per-device packet-processing costs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceProfile {
     /// Human-readable device name.
     pub name: &'static str,

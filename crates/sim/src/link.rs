@@ -20,10 +20,9 @@
 use crate::rng::SimRng;
 use crate::schedule::RateSchedule;
 use crate::time::{transmission_delay, Dur, Time};
-use serde::{Deserialize, Serialize};
 
 /// Jitter model applied to each packet's one-way delay.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Jitter {
     /// No jitter.
     None,
@@ -41,7 +40,7 @@ pub enum Jitter {
 /// exceeds the one-way delay). Held packets are counted as reordered
 /// directly and excluded from the inversion counter so each reordering
 /// event is counted exactly once.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReorderSpec {
     /// Probability a packet is held back.
     pub prob: f64,
@@ -50,7 +49,7 @@ pub struct ReorderSpec {
 }
 
 /// Configuration of one link direction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkConfig {
     /// Rate limit; `None` means an unshaped (infinite-rate) link.
     pub rate: Option<RateSchedule>,
@@ -125,7 +124,7 @@ impl LinkConfig {
 }
 
 /// Why a packet was dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropKind {
     /// Random (netem) loss.
     Random,
@@ -143,7 +142,7 @@ pub enum Verdict {
 }
 
 /// Counters exposed for Table 5-style link characterization.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LinkStats {
     /// Packets offered to the link.
     pub offered: u64,
@@ -237,8 +236,7 @@ impl LinkDir {
                 let rate = schedule.rate_at(now);
                 // Refill the token bucket.
                 let elapsed = now.saturating_since(self.token_time).as_secs_f64();
-                self.tokens = (self.tokens + elapsed * rate / 8.0)
-                    .min(self.cfg.burst_bytes as f64);
+                self.tokens = (self.tokens + elapsed * rate / 8.0).min(self.cfg.burst_bytes as f64);
                 self.token_time = now;
 
                 let queue_empty = self.backlog_end <= now;
@@ -406,7 +404,10 @@ mod tests {
                 drops += 1;
             }
         }
-        assert!(drops >= 7, "queue of 3000 B holds ~2 packets, drops = {drops}");
+        assert!(
+            drops >= 7,
+            "queue of 3000 B holds ~2 packets, drops = {drops}"
+        );
         assert_eq!(l.stats().overflow_drops, drops);
     }
 

@@ -1,26 +1,21 @@
 //! Packets and addressing.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a node (host, router, proxy) in the simulated world.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Demultiplexing key: identifies a transport connection end-to-end.
 /// The 4-tuple of a real network collapses to a single u64 here.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
 
 /// How the receiving host processes this packet — the kernel/userspace
 /// distinction at the heart of the paper's mobile findings (Sec 5.2,
 /// Fig 13): QUIC packets are decrypted and processed in an application
 /// process, TCP segments in the kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PktClass {
     /// Processed in userspace (QUIC over UDP).
     Userspace,

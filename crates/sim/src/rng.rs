@@ -5,31 +5,75 @@
 //! [`SimRng`] seeded from the experiment seed, so a given seed reproduces an
 //! experiment byte-for-byte — the repeatability the paper's methodology
 //! demands.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna) with
+//! SplitMix64 seed expansion — no external crates, so the byte stream for a
+//! given seed is fixed by this file alone and can never drift underneath us
+//! via a dependency upgrade. That stability is what the determinism-
+//! equivalence suite in `longlook-integration` regression-tests.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step; used for seed expansion and [`hash_unit`].
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded simulation RNG with the distribution helpers the link models
 /// need.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
-    /// Seed a new generator.
+    /// Seed a new generator (SplitMix64-expanded, per the xoshiro authors'
+    /// recommendation, so that low-entropy seeds still give full states).
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
         }
+        // An all-zero state would be a fixed point; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
     }
 
     /// Derive an independent child generator; mixing in a label keeps
     /// per-component streams decoupled (changing how one component draws
     /// does not perturb another).
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::new(s)
+    }
+
+    /// Raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Bernoulli trial.
@@ -39,7 +83,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -49,31 +93,40 @@ impl SimRng {
         if lo == hi {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            let x = lo + self.unit() * (hi - lo);
+            // Floating rounding can land exactly on `hi`; keep the
+            // documented half-open contract.
+            if x < hi {
+                x
+            } else {
+                lo
+            }
         }
     }
 
-    /// Uniform integer in `[lo, hi]`.
+    /// Uniform integer in `[lo, hi]` (Lemire's multiply-shift; the bias is
+    /// below 2^-64 per draw, irrelevant for link emulation).
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo <= hi);
-        self.inner.gen_range(lo..=hi)
+        let span = hi.wrapping_sub(lo);
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let range = span + 1;
+        let hi64 = ((self.next_u64() as u128 * range as u128) >> 64) as u64;
+        lo + hi64
     }
 
     /// Standard normal via Box–Muller.
     pub fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.unit().max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
     /// Normal with the given mean and standard deviation.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         mean + std_dev * self.standard_normal()
-    }
-
-    /// Raw 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
     }
 }
 
@@ -139,13 +192,24 @@ mod tests {
     }
 
     #[test]
+    fn uniform_u64_bounds_and_degenerate_range() {
+        let mut r = SimRng::new(13);
+        for _ in 0..1000 {
+            let x = r.uniform_u64(10, 20);
+            assert!((10..=20).contains(&x));
+        }
+        assert_eq!(r.uniform_u64(7, 7), 7);
+        // Full-range draw must not overflow.
+        let _ = r.uniform_u64(0, u64::MAX);
+    }
+
+    #[test]
     fn normal_moments() {
         let mut r = SimRng::new(5);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
         assert!((var - 4.0).abs() < 0.3, "var = {var}");
     }

@@ -7,10 +7,9 @@
 
 use crate::rng::hash_unit;
 use crate::time::{Dur, Time};
-use serde::{Deserialize, Serialize};
 
 /// A time-varying link rate in bits per second.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum RateSchedule {
     /// Constant rate.
     Fixed(f64),
@@ -82,9 +81,7 @@ impl RateSchedule {
     pub fn max_rate(&self) -> f64 {
         match self {
             RateSchedule::Fixed(r) => *r,
-            RateSchedule::Piecewise(steps) => {
-                steps.iter().map(|&(_, r)| r).fold(0.0, f64::max)
-            }
+            RateSchedule::Piecewise(steps) => steps.iter().map(|&(_, r)| r).fold(0.0, f64::max),
             RateSchedule::RandomHold { max_bps, .. } => *max_bps,
         }
     }

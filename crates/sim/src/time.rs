@@ -6,20 +6,15 @@
 //! `u64` nanoseconds cover ~584 years of simulated time, far beyond any
 //! experiment here.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A virtual instant (nanoseconds since experiment start).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 /// A span of virtual time (nanoseconds).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Dur(u64);
 
 impl Time {
@@ -305,6 +300,9 @@ mod tests {
     #[test]
     fn saturating_behavior() {
         assert_eq!(Time::MAX + Dur::from_secs(1), Time::MAX);
-        assert_eq!(Dur::from_millis(1).saturating_sub(Dur::from_millis(2)), Dur::ZERO);
+        assert_eq!(
+            Dur::from_millis(1).saturating_sub(Dur::from_millis(2)),
+            Dur::ZERO
+        );
     }
 }

@@ -151,11 +151,15 @@ impl World {
         let rng_ab = self.rng.fork((a.0 as u64) << 32 | b.0 as u64);
         let rng_ba = self.rng.fork((b.0 as u64) << 32 | a.0 as u64);
         assert!(
-            self.links.insert((a, b), LinkDir::new(cfg_ab, rng_ab)).is_none(),
+            self.links
+                .insert((a, b), LinkDir::new(cfg_ab, rng_ab))
+                .is_none(),
             "link {a:?}->{b:?} already exists"
         );
         assert!(
-            self.links.insert((b, a), LinkDir::new(cfg_ba, rng_ba)).is_none(),
+            self.links
+                .insert((b, a), LinkDir::new(cfg_ba, rng_ba))
+                .is_none(),
             "link {b:?}->{a:?} already exists"
         );
     }
@@ -244,7 +248,9 @@ impl World {
         match sched.ev {
             Ev::LinkOut(pkt) => {
                 // Charge the destination's CPU, then deliver.
-                let done = self.nodes[pkt.dst.0 as usize].cpu.process(self.now, pkt.class);
+                let done = self.nodes[pkt.dst.0 as usize]
+                    .cpu
+                    .process(self.now, pkt.class);
                 if done > self.now {
                     self.push(done, Ev::Deliver(pkt));
                 } else {
@@ -431,8 +437,7 @@ mod tests {
         let (t, size) = echo_b.received[0];
         assert_eq!(size, 1000);
         assert!(
-            t >= Time::ZERO + Dur::from_millis(6)
-                && t < Time::ZERO + Dur::from_millis(7),
+            t >= Time::ZERO + Dur::from_millis(6) && t < Time::ZERO + Dur::from_millis(7),
             "t = {t}"
         );
         // a receives replies 2 one-way delays after sending.
@@ -520,7 +525,12 @@ mod tests {
         let sink = w.add_node(Box::new(Sink { got_at: None }), DeviceProfile::MOTOG);
         assert_eq!(sink, sink_id);
         let src = w.add_node(Box::new(Src { dst: sink }), DeviceProfile::SERVER);
-        w.connect(src, sink, LinkConfig::ideal(Dur::ZERO), LinkConfig::ideal(Dur::ZERO));
+        w.connect(
+            src,
+            sink,
+            LinkConfig::ideal(Dur::ZERO),
+            LinkConfig::ideal(Dur::ZERO),
+        );
         w.kick(src);
         w.run_until(Time::MAX);
         let got = w.agent::<Sink>(sink).got_at.expect("delivered");

@@ -118,3 +118,103 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Token-bucket conformance: cumulative bytes delivered by any arrival
+    /// instant never exceed the configured rate times elapsed time plus
+    /// the burst allowance (one MTU of slop for the packet completing at
+    /// that instant; twice the burst because the bucket may refill while
+    /// the fluid queue is draining).
+    #[test]
+    fn token_bucket_throughput_never_exceeds_rate(
+        rate_mbps in 1.0f64..100.0,
+        burst_kb in 0u64..64,
+        sizes in proptest::collection::vec(40u32..1500, 1..300),
+        gap_us in 0u64..500,
+    ) {
+        let cfg = LinkConfig {
+            rate: Some(RateSchedule::fixed_mbps(rate_mbps)),
+            delay: Dur::ZERO,
+            jitter: Jitter::None,
+            loss: 0.0,
+            reorder: None,
+            buffer_bytes: u64::MAX,
+            burst_bytes: burst_kb * 1024,
+        };
+        let mut link = LinkDir::new(cfg, SimRng::new(5));
+        let mut cum_bytes = 0u64;
+        for (i, &size) in sizes.iter().enumerate() {
+            let t = Time::ZERO + Dur::from_micros(i as u64 * gap_us);
+            if let Verdict::DeliverAt(at) = link.transit(t, size) {
+                cum_bytes += size as u64;
+                let elapsed = at.saturating_since(Time::ZERO).as_secs_f64();
+                let budget = rate_mbps * 1e6 / 8.0 * elapsed
+                    + 2.0 * (burst_kb * 1024) as f64
+                    + 1500.0;
+                prop_assert!(
+                    cum_bytes as f64 <= budget,
+                    "delivered {cum_bytes} B by {elapsed}s exceeds budget {budget}"
+                );
+            }
+        }
+    }
+
+    /// The drop-tail queue never exceeds its configured capacity at any
+    /// probe instant, for any rate and arrival pattern (generalizes
+    /// `queue_never_exceeds_buffer` beyond same-instant arrivals).
+    #[test]
+    fn droptail_occupancy_bounded_under_random_arrivals(
+        rate_mbps in 1.0f64..50.0,
+        buffer_kb in 4u64..128,
+        arrivals in proptest::collection::vec((0u64..400, 100u32..1500), 1..300),
+    ) {
+        let cfg = LinkConfig {
+            rate: Some(RateSchedule::fixed_mbps(rate_mbps)),
+            delay: Dur::ZERO,
+            jitter: Jitter::None,
+            loss: 0.0,
+            reorder: None,
+            buffer_bytes: buffer_kb * 1024,
+            burst_bytes: 0,
+        };
+        let mut link = LinkDir::new(cfg, SimRng::new(6));
+        let mut now = Time::ZERO;
+        for &(gap_us, size) in &arrivals {
+            now += Dur::from_micros(gap_us);
+            link.transit(now, size);
+            prop_assert!(
+                link.queue_bytes(now) <= buffer_kb * 1024 + 1500,
+                "occupancy exceeded the drop-tail capacity"
+            );
+        }
+    }
+
+    /// Reordering requires a cause: with no jitter and no explicit
+    /// reorder spec the link never inverts deliveries, even with random
+    /// loss and arbitrary arrival spacing.
+    #[test]
+    fn no_reordering_without_jitter_or_reorder_spec(
+        rate_mbps in 1.0f64..100.0,
+        delay_ms in 0u64..100,
+        loss in 0.0f64..0.2,
+        arrivals in proptest::collection::vec((0u64..1000, 40u32..1500), 1..300),
+    ) {
+        let cfg = LinkConfig::shaped(
+            RateSchedule::fixed_mbps(rate_mbps),
+            Dur::from_millis(delay_ms),
+            Dur::from_millis(36),
+        )
+        .with_loss(loss);
+        let mut link = LinkDir::new(cfg, SimRng::new(7));
+        let mut now = Time::ZERO;
+        let mut last = Time::ZERO;
+        for &(gap_us, size) in &arrivals {
+            now += Dur::from_micros(gap_us);
+            if let Verdict::DeliverAt(at) = link.transit(now, size) {
+                prop_assert!(at >= last, "delivery inverted without jitter");
+                last = at;
+            }
+        }
+        prop_assert_eq!(link.stats().reordered, 0);
+    }
+}

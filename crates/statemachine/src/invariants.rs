@@ -10,11 +10,10 @@
 //! * `a AlwaysPrecedes b` — every occurrence of `b` has some earlier `a`.
 
 use crate::trace::Trace;
-use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One mined invariant.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Invariant {
     /// `a` is always eventually followed by `b`.
     AlwaysFollowedBy(String, String),
@@ -58,7 +57,10 @@ pub fn mine(traces: &[Trace]) -> Vec<Invariant> {
         let seq = t.labels();
         for (i, &a) in seq.iter().enumerate() {
             // Register against the global alphabet keys.
-            let a_key = labels.iter().find(|l| l.as_str() == a).expect("in alphabet");
+            let a_key = labels
+                .iter()
+                .find(|l| l.as_str() == a)
+                .expect("in alphabet");
             *occurrences.entry(a_key).or_insert(0) += 1;
             let after: BTreeSet<&str> = seq[i + 1..].iter().copied().collect();
             for b in &labels {
@@ -80,7 +82,10 @@ pub fn mine(traces: &[Trace]) -> Vec<Invariant> {
     for a in &labels {
         for b in &labels {
             let occ_a = occurrences.get(a.as_str()).copied().unwrap_or(0);
-            let fol = followed.get(&(a.as_str(), b.as_str())).copied().unwrap_or(0);
+            let fol = followed
+                .get(&(a.as_str(), b.as_str()))
+                .copied()
+                .unwrap_or(0);
             if occ_a > 0 {
                 if fol == occ_a {
                     out.push(Invariant::AlwaysFollowedBy(a.clone(), b.clone()));
@@ -89,7 +94,10 @@ pub fn mine(traces: &[Trace]) -> Vec<Invariant> {
                 }
             }
             let occ_b = b_occurrences.get(b.as_str()).copied().unwrap_or(0);
-            let prec = preceded.get(&(a.as_str(), b.as_str())).copied().unwrap_or(0);
+            let prec = preceded
+                .get(&(a.as_str(), b.as_str()))
+                .copied()
+                .unwrap_or(0);
             if occ_b > 0 && prec == occ_b && a != b {
                 out.push(Invariant::AlwaysPrecedes(a.clone(), b.clone()));
             }
@@ -141,7 +149,10 @@ mod tests {
 
     #[test]
     fn mines_always_followed_by() {
-        let traces = vec![trace(&["Init", "SlowStart", "CA"]), trace(&["Init", "SlowStart"])];
+        let traces = vec![
+            trace(&["Init", "SlowStart", "CA"]),
+            trace(&["Init", "SlowStart"]),
+        ];
         let invs = mine(&traces);
         assert!(invs.contains(&Invariant::AlwaysFollowedBy(
             "Init".into(),
@@ -172,10 +183,7 @@ mod tests {
             trace(&["Init", "SlowStart", "CA"]),
         ];
         let invs = mine(&traces);
-        assert!(invs.contains(&Invariant::AlwaysPrecedes(
-            "Init".into(),
-            "Recovery".into()
-        )));
+        assert!(invs.contains(&Invariant::AlwaysPrecedes("Init".into(), "Recovery".into())));
         assert!(invs.contains(&Invariant::AlwaysPrecedes("Init".into(), "CA".into())));
     }
 

@@ -27,10 +27,7 @@ pub fn trace_from_transport(
     end: longlook_sim::time::Time,
 ) -> Trace {
     Trace::new(
-        st.visits
-            .iter()
-            .map(|&(t, s)| (t, s.to_string()))
-            .collect(),
+        st.visits.iter().map(|&(t, s)| (t, s.to_string())).collect(),
         end,
     )
 }

@@ -1,11 +1,10 @@
 //! Execution traces: the raw material of state-machine inference.
 
 use longlook_sim::time::{Dur, Time};
-use serde::Serialize;
 
 /// One observed execution: an ordered sequence of `(enter_time, state)`
 /// visits plus the total observation span.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     /// Ordered visits; the first entry is the initial state.
     pub visits: Vec<(Time, String)>,
@@ -22,10 +21,7 @@ impl Trace {
     /// Build from string slices (convenient for transport StateTraces).
     pub fn from_labels(visits: &[(Time, &str)], end: Time) -> Self {
         Trace {
-            visits: visits
-                .iter()
-                .map(|&(t, s)| (t, s.to_string()))
-                .collect(),
+            visits: visits.iter().map(|&(t, s)| (t, s.to_string())).collect(),
             end,
         }
     }
@@ -38,11 +34,7 @@ impl Trace {
     /// Dwell time of the `i`-th visit.
     pub fn dwell(&self, i: usize) -> Dur {
         let start = self.visits[i].0;
-        let end = self
-            .visits
-            .get(i + 1)
-            .map(|&(t, _)| t)
-            .unwrap_or(self.end);
+        let end = self.visits.get(i + 1).map(|&(t, _)| t).unwrap_or(self.end);
         end.saturating_since(start)
     }
 

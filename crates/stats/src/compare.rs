@@ -2,10 +2,9 @@
 
 use crate::summary::Summary;
 use crate::welch::{welch_t_test, WelchResult, DEFAULT_ALPHA};
-use serde::{Deserialize, Serialize};
 
 /// Who wins a comparison cell, in the paper's color language.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// QUIC (the "candidate") is significantly better — a red cell.
     CandidateWins,
@@ -28,7 +27,7 @@ impl Verdict {
 
 /// Result of comparing candidate-protocol samples against baseline samples
 /// for one scenario, where *lower is better* (e.g. page load time).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Comparison {
     /// Candidate (QUIC) sample summary.
     pub candidate: Summary,
@@ -160,7 +159,11 @@ mod tests {
         let tcp_tput = [46.0, 45.0, 47.0, 46.5, 45.8];
         let c = Comparison::higher_is_better(&quic_tput, &tcp_tput);
         assert_eq!(c.verdict, Verdict::CandidateWins);
-        assert!(c.percent > 60.0, "QUIC ~72% more throughput, got {}", c.percent);
+        assert!(
+            c.percent > 60.0,
+            "QUIC ~72% more throughput, got {}",
+            c.percent
+        );
     }
 
     #[test]

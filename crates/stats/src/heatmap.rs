@@ -6,11 +6,12 @@
 //! gate.
 
 use crate::compare::{Comparison, Verdict};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
-/// One heatmap cell.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+/// One heatmap cell. `PartialEq` compares the exact percent, p-value and
+/// verdict — the determinism-equivalence suite uses it to check that a
+/// parallel sweep reproduces a serial sweep bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeatmapCell {
     /// Percent difference (positive = candidate better).
     pub percent: f64,
@@ -50,7 +51,7 @@ impl HeatmapCell {
 }
 
 /// A labelled matrix of comparison cells.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Heatmap {
     /// Figure-style title, e.g. "QUIC v34 vs TCP, 1% loss".
     pub title: String,
@@ -64,11 +65,7 @@ pub struct Heatmap {
 
 impl Heatmap {
     /// Create an all-empty heatmap with the given shape.
-    pub fn new(
-        title: impl Into<String>,
-        row_labels: Vec<String>,
-        col_labels: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, row_labels: Vec<String>, col_labels: Vec<String>) -> Self {
         let rows = row_labels.len();
         let cols = col_labels.len();
         Heatmap {
@@ -179,7 +176,8 @@ impl Heatmap {
                     out,
                     "{rl},{cl},{:.2},{},{}",
                     cell.percent,
-                    cell.p_value.map_or(String::from("NA"), |p| format!("{p:.4}")),
+                    cell.p_value
+                        .map_or(String::from("NA"), |p| format!("{p:.4}")),
                     cell.verdict.glyph()
                 );
             }

@@ -1,7 +1,5 @@
 //! Streaming summary statistics (Welford's online algorithm).
 
-use serde::{Deserialize, Serialize};
-
 /// Online mean / variance / extrema accumulator.
 ///
 /// Uses Welford's algorithm so that adding millions of samples (e.g. one per
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,

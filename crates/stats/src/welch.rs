@@ -9,13 +9,12 @@
 
 use crate::beta::student_t_two_sided_p;
 use crate::summary::Summary;
-use serde::{Deserialize, Serialize};
 
 /// Significance threshold used throughout the paper.
 pub const DEFAULT_ALPHA: f64 = 0.01;
 
 /// Outcome of a Welch's t-test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WelchResult {
     /// The t statistic.
     pub t: f64,
@@ -68,8 +67,8 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchResult> {
     }
     let t = (sa.mean() - sb.mean()) / denom;
     // Welch–Satterthwaite equation.
-    let df = (va + vb).powi(2)
-        / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
+    let df =
+        (va + vb).powi(2) / (va * va / (a.len() as f64 - 1.0) + vb * vb / (b.len() as f64 - 1.0));
     let p = student_t_two_sided_p(t, df);
     Some(WelchResult { t, df, p })
 }

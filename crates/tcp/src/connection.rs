@@ -19,10 +19,8 @@ use crate::wire::{flags, TcpSegment};
 use bytes::Bytes;
 use longlook_sim::time::{Dur, Time};
 use longlook_transport::cc::CongestionControl;
-use longlook_transport::ccstate::{CcState, StateTracker, StateTrace};
-use longlook_transport::conn::{
-    AppEvent, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD,
-};
+use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
+use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD};
 use longlook_transport::cubic::{Cubic, CubicConfig};
 use longlook_transport::rtt::RttEstimator;
 use std::collections::VecDeque;
@@ -338,7 +336,8 @@ impl TcpConnection {
         for e in evs {
             match e {
                 H2Event::StreamOpened(s) => {
-                    self.events.push_back(AppEvent::StreamOpened(StreamId(s as u64)));
+                    self.events
+                        .push_back(AppEvent::StreamOpened(StreamId(s as u64)));
                 }
                 H2Event::StreamData { stream, bytes } => {
                     self.events.push_back(AppEvent::StreamData {
@@ -347,7 +346,8 @@ impl TcpConnection {
                     });
                 }
                 H2Event::StreamFin(s) => {
-                    self.events.push_back(AppEvent::StreamFin(StreamId(s as u64)));
+                    self.events
+                        .push_back(AppEvent::StreamFin(StreamId(s as u64)));
                 }
             }
         }
@@ -396,9 +396,9 @@ impl Connection for TcpConnection {
         // Data path.
         if seg.payload_len > 0 {
             self.demux.on_descs(&seg.records);
-            let newly = self
-                .receiver
-                .on_segment(seg.seq, seg.payload_len, now, self.cfg.delayed_ack);
+            let newly =
+                self.receiver
+                    .on_segment(seg.seq, seg.payload_len, now, self.cfg.delayed_ack);
             self.stats.bytes_received += seg.payload_len as u64;
             if newly > 0 {
                 self.maybe_tls_established(now);
@@ -408,9 +408,9 @@ impl Connection for TcpConnection {
 
         // Ack path.
         if seg.flags & flags::ACK != 0 && self.state == TcpState::Open {
-            let out = self
-                .scoreboard
-                .on_ack(now, seg.ack, &seg.sacks, seg.dsack, seg.payload_len > 0);
+            let out =
+                self.scoreboard
+                    .on_ack(now, seg.ack, &seg.sacks, seg.dsack, seg.payload_len > 0);
             if let Some(sample) = out.rtt_sample {
                 self.rtt.on_sample(sample, Dur::ZERO);
             }

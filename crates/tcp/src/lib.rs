@@ -135,7 +135,13 @@ mod loopback_tests {
     fn handshake_takes_two_rtts_with_tls() {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
-        let (ev_c, _) = run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(3));
+        let (ev_c, _) = run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(3),
+        );
         assert!(c.is_established());
         assert!(s.is_established());
         assert!(ev_c.contains(&AppEvent::HandshakeDone));
@@ -148,7 +154,13 @@ mod loopback_tests {
     fn request_response_roundtrip() {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(1),
+        );
         let now = Time::ZERO + Dur::from_secs(1);
         let id = c.open_stream(now).expect("stream");
         c.stream_send(now, id, 250, true);
@@ -168,7 +180,13 @@ mod loopback_tests {
     fn bulk_transfer_completes_without_loss() {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(1),
+        );
         let now = Time::ZERO + Dur::from_secs(1);
         let id = c.open_stream(now).expect("stream");
         c.stream_send(now, id, 100, true);
@@ -187,7 +205,13 @@ mod loopback_tests {
     fn fast_retransmit_recovers_mid_stream_loss() {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(1),
+        );
         let now = Time::ZERO + Dur::from_secs(1);
         let id = c.open_stream(now).expect("stream");
         c.stream_send(now, id, 100, true);
@@ -207,7 +231,13 @@ mod loopback_tests {
     fn tail_loss_needs_rto_without_tlp() {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(1),
+        );
         let now = Time::ZERO + Dur::from_secs(1);
         let id = c.open_stream(now).expect("stream");
         c.stream_send(now, id, 100, true);
@@ -226,7 +256,13 @@ mod loopback_tests {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
         pipe.drop_a_to_b = vec![0]; // drop the first SYN
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(5));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(5),
+        );
         assert!(c.is_established(), "SYN retransmitted after syn_rto");
     }
 
@@ -234,7 +270,13 @@ mod loopback_tests {
     fn multiplexed_streams_share_the_connection() {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(1),
+        );
         let now = Time::ZERO + Dur::from_secs(1);
         let id1 = c.open_stream(now).expect("s1");
         let id2 = c.open_stream(now).expect("s2");
@@ -254,12 +296,20 @@ mod loopback_tests {
 
     #[test]
     fn no_tls_mode_establishes_after_syn() {
-        let mut cfg = TcpConfig::default();
-        cfg.tls = false;
+        let cfg = TcpConfig {
+            tls: false,
+            ..TcpConfig::default()
+        };
         let mut c = TcpConnection::client(cfg.clone(), Time::ZERO);
         let mut s = TcpConnection::server(cfg, Time::ZERO);
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_millis(200));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_millis(200),
+        );
         assert!(c.is_established());
         assert!(s.is_established());
     }
@@ -268,13 +318,25 @@ mod loopback_tests {
     fn srtt_converges() {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(1),
+        );
         let now = Time::ZERO + Dur::from_secs(1);
         let id = c.open_stream(now).expect("stream");
         c.stream_send(now, id, 100, true);
         run(&mut c, &mut s, &mut pipe, now, now + Dur::from_secs(1));
         s.stream_send(now + Dur::from_secs(1), id, 2_000_000, true);
-        run(&mut c, &mut s, &mut pipe, now + Dur::from_secs(1), now + Dur::from_secs(40));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            now + Dur::from_secs(1),
+            now + Dur::from_secs(40),
+        );
         let srtt = s.srtt().as_millis_f64();
         assert!((srtt - 36.0).abs() < 10.0, "srtt = {srtt}ms");
     }
@@ -283,7 +345,13 @@ mod loopback_tests {
     fn state_trace_starts_in_init() {
         let (mut c, mut s) = pair();
         let mut pipe = Pipe::new();
-        run(&mut c, &mut s, &mut pipe, Time::ZERO, Time::ZERO + Dur::from_secs(1));
+        run(
+            &mut c,
+            &mut s,
+            &mut pipe,
+            Time::ZERO,
+            Time::ZERO + Dur::from_secs(1),
+        );
         let trace = s.state_trace(Time::ZERO + Dur::from_secs(1));
         assert_eq!(trace.labels()[0], "Init");
     }

@@ -114,8 +114,7 @@ impl TcpReceiver {
 
     /// Whether an ack should be emitted now.
     pub fn ack_due(&self, now: Time) -> bool {
-        self.ack_now
-            || (self.unacked_segs > 0 && self.ack_deadline.is_some_and(|d| now >= d))
+        self.ack_now || (self.unacked_segs > 0 && self.ack_deadline.is_some_and(|d| now >= d))
     }
 
     /// Delayed-ack deadline (for wakeups).
@@ -138,7 +137,8 @@ impl TcpReceiver {
         }
         // Only report blocks strictly above the cumulative ack; merges
         // can leave stale entries in the recency list.
-        self.recent.retain(|&(s, e)| s > self.rcv_nxt && e > self.rcv_nxt);
+        self.recent
+            .retain(|&(s, e)| s > self.rcv_nxt && e > self.rcv_nxt);
         for &(s, e) in &self.recent {
             if sacks.len() >= 4 {
                 break;

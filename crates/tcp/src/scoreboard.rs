@@ -188,11 +188,7 @@ impl Scoreboard {
             self.snd_una = ack;
             self.dupacks = 0;
             self.fr_fired = false;
-            let covered: Vec<u64> = self
-                .segs
-                .range(..ack)
-                .map(|(&s, _)| s)
-                .collect();
+            let covered: Vec<u64> = self.segs.range(..ack).map(|(&s, _)| s).collect();
             for seq in covered {
                 let seg = self.segs.remove(&seq).expect("collected");
                 if !seg.sacked && !seg.lost {
@@ -212,7 +208,11 @@ impl Scoreboard {
         }
 
         // SACK marking (skip the DSACK block — it reports old data).
-        let plain = if dsack { &sacks[1.min(sacks.len())..] } else { sacks };
+        let plain = if dsack {
+            &sacks[1.min(sacks.len())..]
+        } else {
+            sacks
+        };
         let mut highest_sacked = 0u64;
         for &(s, e) in plain {
             highest_sacked = highest_sacked.max(e);

@@ -34,7 +34,7 @@ proptest! {
                 .into_iter()
                 .map(|(s, l)| (s as u64, s as u64 + l as u64))
                 .collect(),
-            dsack: dsack && true,
+            dsack,
             records: records
                 .into_iter()
                 .map(|(offset, stream, len, fin)| RecordDesc {
@@ -206,5 +206,77 @@ proptest! {
         prop_assert_eq!(TcpSegment::decode(seg.encode()).expect("ok"), seg.clone());
         let expect_bare = seg.payload_len == 0 && fl & (flags::SYN | flags::FIN) == 0;
         prop_assert_eq!(seg.is_bare_ack(), expect_bare);
+    }
+}
+
+/// An arbitrary well-formed segment (sack blocks normalized to start < end).
+fn arb_segment() -> impl Strategy<Value = TcpSegment> {
+    (
+        (any::<u64>(), any::<u64>(), 0u8..8, any::<u64>()),
+        (
+            any::<u32>(),
+            proptest::collection::vec((any::<u32>(), 1u32..1000), 0..5),
+            any::<bool>(),
+            proptest::collection::vec(
+                (any::<u64>(), any::<u32>(), any::<u32>(), any::<bool>()),
+                0..6,
+            ),
+        ),
+    )
+        .prop_map(
+            |((seq, ack, flags, window), (payload_len, raw_sacks, dsack, records))| TcpSegment {
+                seq,
+                ack,
+                flags,
+                window,
+                payload_len,
+                sacks: raw_sacks
+                    .into_iter()
+                    .map(|(s, l)| (s as u64, s as u64 + l as u64))
+                    .collect(),
+                dsack,
+                records: records
+                    .into_iter()
+                    .map(|(offset, stream, len, fin)| RecordDesc {
+                        offset,
+                        stream,
+                        len,
+                        fin,
+                    })
+                    .collect(),
+            },
+        )
+}
+
+proptest! {
+    /// Encoding is canonical: re-encoding a decoded segment reproduces the
+    /// exact byte sequence.
+    #[test]
+    fn encoding_is_canonical(seg in arb_segment()) {
+        let bytes = seg.encode();
+        let reencoded = TcpSegment::decode(bytes.clone()).expect("valid").encode();
+        prop_assert_eq!(reencoded.as_slice(), bytes.as_slice());
+    }
+
+    /// The encoded length follows the wire layout exactly:
+    /// 31-byte fixed header + 16 bytes per SACK block + 2-byte record
+    /// count + 17 bytes per record descriptor.
+    #[test]
+    fn encoded_length_matches_layout(seg in arb_segment()) {
+        let expect = 31 + 16 * seg.sacks.len() + 2 + 17 * seg.records.len();
+        prop_assert_eq!(seg.encode().len(), expect);
+    }
+
+    /// Every strict prefix of a valid encoding is rejected (the
+    /// length-prefixed lists make truncation always detectable), and
+    /// rejection never panics.
+    #[test]
+    fn strict_prefixes_never_decode(
+        seg in arb_segment(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = seg.encode();
+        let cut = cut.index(bytes.len());
+        prop_assert!(TcpSegment::decode(bytes.slice(0..cut)).is_err());
     }
 }

@@ -83,8 +83,7 @@ impl Bbr {
         if self.min_rtt == Dur::MAX {
             return 64 * self.mss;
         }
-        ((self.max_bw() / 8.0) * self.min_rtt.as_secs_f64()).max(4.0 * self.mss as f64)
-            as u64
+        ((self.max_bw() / 8.0) * self.min_rtt.as_secs_f64()).max(4.0 * self.mss as f64) as u64
     }
 
     fn pacing_gain(&self) -> f64 {
@@ -130,14 +129,14 @@ impl CongestionControl for Bbr {
         self.bw_samples
             .retain(|&(t, _)| now.saturating_since(t) <= BW_WINDOW);
 
-        // Min RTT filter.
+        // Min RTT filter: only ever tightens here. A stale window is not
+        // refreshed in place — staleness of `min_rtt_at` is what drives
+        // the ProbeBW -> ProbeRTT transition below, and ProbeRTT takes a
+        // fresh sample on exit.
         let sample = rtt.latest();
-        if sample < self.min_rtt || now.saturating_since(self.min_rtt_at) > MIN_RTT_WINDOW
-        {
-            if sample < self.min_rtt {
-                self.min_rtt = sample;
-                self.min_rtt_at = now;
-            }
+        if sample < self.min_rtt {
+            self.min_rtt = sample;
+            self.min_rtt_at = now;
         }
 
         match self.state {
@@ -268,7 +267,14 @@ mod tests {
     fn steady_acks(b: &mut Bbr, start_ms: u64, acks: u64, bytes: u64, in_flight: u64) {
         let r = rtt(36);
         for i in 0..acks {
-            b.on_ack(t(start_ms + 10 * i), t(start_ms), bytes, &r, in_flight, false);
+            b.on_ack(
+                t(start_ms + 10 * i),
+                t(start_ms),
+                bytes,
+                &r,
+                in_flight,
+                false,
+            );
         }
     }
 

@@ -8,11 +8,10 @@
 //! [`StateTrace`] feeds `longlook-statemachine` directly.
 
 use longlook_sim::time::{Dur, Time};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// QUIC congestion-control states, exactly Table 3 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CcState {
     /// Initial connection establishment.
     Init,
@@ -80,7 +79,7 @@ impl CcState {
 }
 
 /// BBR states (paper Fig 3b, for the experimental BBR implementation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BbrState {
     /// Exponential bandwidth probing at startup.
     Startup,
@@ -105,7 +104,7 @@ impl BbrState {
 }
 
 /// One observed transition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transition {
     /// State left.
     pub from: &'static str,
@@ -117,7 +116,7 @@ pub struct Transition {
 
 /// A completed state trace: the ordered transition log plus time spent in
 /// each state. This is the artifact the Synoptic-style inference ingests.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StateTrace {
     /// Ordered `(time, state)` visit log, starting with the initial state.
     pub visits: Vec<(Time, &'static str)>,
@@ -192,8 +191,7 @@ impl StateTracker {
     /// Finalize at `now`, producing the trace.
     pub fn finish(&self, now: Time) -> StateTrace {
         let mut time_in = self.time_in.clone();
-        *time_in.entry(self.current).or_insert(Dur::ZERO) +=
-            now.saturating_since(self.entered_at);
+        *time_in.entry(self.current).or_insert(Dur::ZERO) += now.saturating_since(self.entered_at);
         StateTrace {
             visits: self.visits.clone(),
             time_in,

@@ -9,7 +9,6 @@
 use crate::ccstate::StateTrace;
 use bytes::Bytes;
 use longlook_sim::time::Time;
-use serde::{Deserialize, Serialize};
 
 /// Ethernet + IP + UDP framing overhead charged per QUIC datagram.
 pub const UDP_OVERHEAD: u32 = 42;
@@ -19,9 +18,7 @@ pub const TCP_OVERHEAD: u32 = 54;
 /// Stream identifier. Stream 0 is reserved by both protocol models for
 /// handshake/control; applications get ids from
 /// [`Connection::open_stream`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamId(pub u64);
 
 /// Events surfaced to the application.
@@ -53,7 +50,7 @@ pub struct Transmit {
 }
 
 /// Counters every connection maintains.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConnStats {
     /// Packets/segments sent (all kinds).
     pub packets_sent: u64,

@@ -258,9 +258,8 @@ impl CongestionControl for Cubic {
         // the next ack.
         let elapsed = now.saturating_since(epoch) + rtt.min_rtt();
         let cubic_target = self.cubic_window(elapsed);
-        self.est_tcp_cwnd +=
-            self.cfg.alpha() * acked_bytes as f64 / self.est_tcp_cwnd.max(1.0)
-                * self.cfg.mss as f64;
+        self.est_tcp_cwnd += self.cfg.alpha() * acked_bytes as f64 / self.est_tcp_cwnd.max(1.0)
+            * self.cfg.mss as f64;
         let target = cubic_target.max(self.est_tcp_cwnd as u64);
         // Never grow more than half the acked bytes per ack (gQUIC caps
         // growth rate to stay within 2x per RTT even in CA).
@@ -299,8 +298,7 @@ impl CongestionControl for Cubic {
     fn on_rto(&mut self, now: Time) {
         let cwnd_packets = self.cwnd as f64 / self.cfg.mss as f64;
         self.w_max_packets = cwnd_packets;
-        self.ssthresh = ((self.cwnd as f64 * self.cfg.beta()) as u64)
-            .max(self.min_cwnd_bytes());
+        self.ssthresh = ((self.cwnd as f64 * self.cfg.beta()) as u64).max(self.min_cwnd_bytes());
         self.cwnd = self.min_cwnd_bytes();
         self.epoch_start = None;
         self.recovery_start = Some(now);

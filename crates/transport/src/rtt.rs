@@ -72,9 +72,7 @@ impl RttEstimator {
                 } else {
                     adjusted - srtt
                 };
-                self.rttvar = Dur::from_nanos(
-                    (3 * self.rttvar.as_nanos() + err.as_nanos()) / 4,
-                );
+                self.rttvar = Dur::from_nanos((3 * self.rttvar.as_nanos() + err.as_nanos()) / 4);
                 // srtt = 7/8 srtt + 1/8 sample.
                 self.srtt = Some(Dur::from_nanos(
                     (7 * srtt.as_nanos() + adjusted.as_nanos()) / 8,

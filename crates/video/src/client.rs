@@ -238,7 +238,9 @@ mod tests {
         assert_eq!(QUALITIES.len(), 4);
         assert_eq!(QUALITIES[0].name, "tiny");
         assert_eq!(QUALITIES[3].name, "hd2160");
-        assert!(QUALITIES.windows(2).all(|w| w[0].bitrate_bps < w[1].bitrate_bps));
+        assert!(QUALITIES
+            .windows(2)
+            .all(|w| w[0].bitrate_bps < w[1].bitrate_bps));
     }
 
     #[test]

@@ -7,10 +7,9 @@
 //! watch window.
 
 use longlook_sim::time::{Dur, Time};
-use serde::Serialize;
 
 /// Playback QoE counters.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct QoeMetrics {
     /// Wall time from load start to first frame.
     pub time_to_start: Option<Dur>,
@@ -143,9 +142,7 @@ impl Player {
     pub fn metrics(&mut self, now: Time) -> QoeMetrics {
         self.update(now);
         QoeMetrics {
-            time_to_start: self
-                .started
-                .map(|s| s.saturating_since(self.load_began)),
+            time_to_start: self.started.map(|s| s.saturating_since(self.load_began)),
             played_secs: self.played_secs,
             loaded_secs: self.loaded_secs,
             rebuffer_count: self.rebuffer_count,

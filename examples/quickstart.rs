@@ -9,11 +9,8 @@ use longlook_core::prelude::*;
 
 fn main() {
     // A 100 KB page over a 10 Mbps, 36 ms RTT emulated path.
-    let scenario = Scenario::new(
-        NetProfile::baseline(10.0),
-        PageSpec::single(100 * 1024),
-    )
-    .with_rounds(10);
+    let scenario =
+        Scenario::new(NetProfile::baseline(10.0), PageSpec::single(100 * 1024)).with_rounds(10);
 
     let quic = ProtoConfig::Quic(QuicConfig::default());
     let tcp = ProtoConfig::Tcp(TcpConfig::default());

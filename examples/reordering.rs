@@ -22,8 +22,10 @@ fn main() {
     );
 
     for threshold in [3u32, 10, 25, 50] {
-        let mut cfg = QuicConfig::default();
-        cfg.nack_threshold = threshold;
+        let cfg = QuicConfig {
+            nack_threshold: threshold,
+            ..QuicConfig::default()
+        };
         let sc = Scenario::new(net.clone(), page.clone()).with_rounds(1);
         let rec = run_page_load(&ProtoConfig::Quic(cfg), &sc, 0);
         let st = rec.server_stats.unwrap_or_default();

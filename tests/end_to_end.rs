@@ -14,8 +14,7 @@ fn tcp() -> ProtoConfig {
 
 #[test]
 fn quic_wins_small_objects_via_zero_rtt() {
-    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(10 * 1024))
-        .with_rounds(6);
+    let sc = Scenario::new(NetProfile::baseline(10.0), PageSpec::single(10 * 1024)).with_rounds(6);
     let pair = compare_pair(&quic(), &tcp(), &sc);
     assert_eq!(pair.comparison.verdict, Verdict::CandidateWins);
     assert!(
@@ -64,8 +63,10 @@ fn raising_nack_threshold_rescues_quic_from_reordering() {
         .with_jitter(Dur::from_millis(10));
     let sc = Scenario::new(net, PageSpec::single(10 * 1024 * 1024)).with_rounds(4);
     let strict = Summary::of(&plt_samples(&quic(), &sc));
-    let mut cfg = QuicConfig::default();
-    cfg.nack_threshold = 50;
+    let cfg = QuicConfig {
+        nack_threshold: 50,
+        ..QuicConfig::default()
+    };
     let tolerant = Summary::of(&plt_samples(&ProtoConfig::Quic(cfg), &sc));
     assert!(
         tolerant.mean() < strict.mean() * 0.8,
@@ -131,8 +132,11 @@ fn welch_gate_reports_inconclusive_for_noisy_ties() {
 #[test]
 fn deadline_miss_is_reported_not_hung() {
     // An absurdly short deadline: the run must end and report None.
-    let mut sc = Scenario::new(NetProfile::baseline(5.0), PageSpec::single(10 * 1024 * 1024))
-        .with_rounds(1);
+    let mut sc = Scenario::new(
+        NetProfile::baseline(5.0),
+        PageSpec::single(10 * 1024 * 1024),
+    )
+    .with_rounds(1);
     sc.deadline = Dur::from_millis(100);
     let rec = run_page_load(&quic(), &sc, 0);
     assert!(rec.plt.is_none());

@@ -41,10 +41,7 @@ fn quic_majority_share_against_multiple_tcp_flows() {
 fn same_protocol_flows_are_fair() {
     let quic = ProtoConfig::Quic(QuicConfig::default());
     let run = run_fairness(
-        &[
-            ("A".to_string(), quic.clone()),
-            ("B".to_string(), quic),
-        ],
+        &[("A".to_string(), quic.clone()), ("B".to_string(), quic)],
         &fairness_net(),
         Dur::from_secs(45),
         7,

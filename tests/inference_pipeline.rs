@@ -54,10 +54,15 @@ fn cubic_machine_covers_expected_states_under_stress() {
 
 #[test]
 fn bbr_machine_uses_bbr_states_only() {
-    let mut cfg = QuicConfig::default();
-    cfg.cc = CcKind::Bbr;
-    let sc = Scenario::new(NetProfile::baseline(20.0), PageSpec::single(10 * 1024 * 1024))
-        .with_rounds(2);
+    let cfg = QuicConfig {
+        cc: CcKind::Bbr,
+        ..QuicConfig::default()
+    };
+    let sc = Scenario::new(
+        NetProfile::baseline(20.0),
+        PageSpec::single(10 * 1024 * 1024),
+    )
+    .with_rounds(2);
     let records = run_records(&ProtoConfig::Quic(cfg), &sc);
     let m = infer_from_records(&records);
     for s in &m.states {

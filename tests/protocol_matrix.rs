@@ -8,11 +8,13 @@ use longlook_http::RESPONSE_HEADER;
 fn protocols() -> Vec<(&'static str, ProtoConfig)> {
     vec![
         ("quic-cubic", ProtoConfig::Quic(QuicConfig::default())),
-        ("quic-bbr", {
-            let mut c = QuicConfig::default();
-            c.cc = CcKind::Bbr;
-            ProtoConfig::Quic(c)
-        }),
+        (
+            "quic-bbr",
+            ProtoConfig::Quic(QuicConfig {
+                cc: CcKind::Bbr,
+                ..QuicConfig::default()
+            }),
+        ),
         ("quic-37", ProtoConfig::Quic(QuicConfig::quic37())),
         ("tcp", ProtoConfig::Tcp(TcpConfig::default())),
     ]
@@ -100,13 +102,25 @@ fn mobile_devices_complete_all_protocols() {
 fn proxied_combinations_complete() {
     let page = PageSpec::uniform(5, 100 * 1024);
     let combos = [
-        ("tcp/tcp", ProtoConfig::Tcp(TcpConfig::default()), ProtoConfig::Tcp(TcpConfig::default())),
-        ("quic/quic", ProtoConfig::Quic(QuicConfig::default()), ProtoConfig::Quic(QuicConfig::default())),
-        ("quic/tcp", ProtoConfig::Quic(QuicConfig::default()), ProtoConfig::Tcp(TcpConfig::default())),
+        (
+            "tcp/tcp",
+            ProtoConfig::Tcp(TcpConfig::default()),
+            ProtoConfig::Tcp(TcpConfig::default()),
+        ),
+        (
+            "quic/quic",
+            ProtoConfig::Quic(QuicConfig::default()),
+            ProtoConfig::Quic(QuicConfig::default()),
+        ),
+        (
+            "quic/tcp",
+            ProtoConfig::Quic(QuicConfig::default()),
+            ProtoConfig::Tcp(TcpConfig::default()),
+        ),
     ];
     for (name, down, up) in combos {
-        let sc = Scenario::new(NetProfile::baseline(10.0).with_loss(0.005), page.clone())
-            .with_rounds(1);
+        let sc =
+            Scenario::new(NetProfile::baseline(10.0).with_loss(0.005), page.clone()).with_rounds(1);
         let plt = run_page_load_proxied(&down, &up, &sc, 0);
         assert!(plt.is_some(), "{name} proxied load incomplete");
     }
@@ -115,10 +129,15 @@ fn proxied_combinations_complete() {
 #[test]
 fn bbr_and_cubic_both_fill_a_fat_pipe() {
     for cc in [CcKind::Cubic, CcKind::Bbr] {
-        let mut cfg = QuicConfig::default();
-        cfg.cc = cc;
-        let sc = Scenario::new(NetProfile::baseline(100.0), PageSpec::single(20 * 1024 * 1024))
-            .with_rounds(1);
+        let cfg = QuicConfig {
+            cc,
+            ..QuicConfig::default()
+        };
+        let sc = Scenario::new(
+            NetProfile::baseline(100.0),
+            PageSpec::single(20 * 1024 * 1024),
+        )
+        .with_rounds(1);
         let rec = run_page_load(&ProtoConfig::Quic(cfg), &sc, 0);
         let plt = rec.plt.expect("finished").as_secs_f64();
         // 20MB at 100Mbps is 1.68s of serialization; allow generous startup.
