@@ -5,21 +5,27 @@
 //! repro fig6a           # run one experiment, print + save to results/
 //! repro all             # run everything
 //! repro -j 4 fig6a      # shard experiment cells across 4 threads
+//! repro -j 4 --timing fig6a   # also print per-batch scheduler reports
 //! ```
 //!
 //! Set `LONGLOOK_ROUNDS` to lower the per-measurement rounds (default 10)
 //! for quicker smoke runs. Experiment cells are sharded across worker
-//! threads (`LONGLOOK_JOBS` or `-j N`; default: all hardware threads) —
-//! results are bit-identical to a serial run regardless of the setting.
+//! threads (`LONGLOOK_JOBS` or `-j N`; default: all hardware threads) in
+//! chunks (`LONGLOOK_CHUNK`; default auto-tuned) — results are
+//! bit-identical to a serial run regardless of either setting. With
+//! `--timing`, every scheduler batch prints a `RunnerReport`: elapsed vs
+//! summed cell time (achieved speedup), per-worker cells/chunks claimed,
+//! and the slowest cells.
 
 use longlook_bench::{list_experiments, run_experiment};
-use longlook_core::runner::Parallelism;
+use longlook_core::runner::{self, Parallelism};
 use std::io::Write as _;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: repro [-j N] <experiment-id>|list|all");
-    eprintln!("  -j N   shard cells across N threads (or set LONGLOOK_JOBS; 1 = serial)");
+    eprintln!("usage: repro [-j N] [--timing] <experiment-id>|list|all");
+    eprintln!("  -j N      shard cells across N threads (or set LONGLOOK_JOBS; 1 = serial)");
+    eprintln!("  --timing  print a scheduler report per batch (jobs, chunk, speedup)");
     eprintln!("experiments:");
     for (id, desc) in list_experiments() {
         eprintln!("  {id:<18} {desc}");
@@ -54,12 +60,26 @@ fn save(id: &str, body: &str) {
     }
 }
 
-fn run_one(id: &str) -> bool {
+fn print_timing(id: &str) {
+    let reports = runner::take_timing_reports();
+    if reports.is_empty() {
+        return;
+    }
+    eprintln!("[{id}: {} scheduler batch(es)]", reports.len());
+    for (k, rep) in reports.iter().enumerate() {
+        eprintln!("  batch {k}: {}", rep.render());
+    }
+}
+
+fn run_one(id: &str, timing: bool) -> bool {
     let started = Instant::now();
     match run_experiment(id) {
         Some(body) => {
             println!("==================== {id} ====================");
             println!("{body}");
+            if timing {
+                print_timing(id);
+            }
             println!(
                 "[{id} completed in {:.1}s]\n",
                 started.elapsed().as_secs_f64()
@@ -76,15 +96,26 @@ fn run_one(id: &str) -> bool {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `-j N` sets the worker count for this process (same knob as the
-    // LONGLOOK_JOBS environment variable).
-    if args.first().map(String::as_str) == Some("-j") {
-        if args.len() < 2 {
-            usage();
+    let mut timing = false;
+    // Flags may appear in any order before the experiment id. `-j N` sets
+    // the worker count for this process (same knob as LONGLOOK_JOBS).
+    loop {
+        match args.first().map(String::as_str) {
+            Some("-j") => {
+                if args.len() < 2 {
+                    usage();
+                }
+                let n: usize = args[1].parse().unwrap_or_else(|_| usage());
+                std::env::set_var(Parallelism::JOBS_ENV, n.to_string());
+                args.drain(..2);
+            }
+            Some("--timing") => {
+                timing = true;
+                runner::set_timing(true);
+                args.remove(0);
+            }
+            _ => break,
         }
-        let n: usize = args[1].parse().unwrap_or_else(|_| usage());
-        std::env::set_var(Parallelism::JOBS_ENV, n.to_string());
-        args.drain(..2);
     }
     eprintln!(
         "[parallelism: {} worker thread(s); override with -j N or {}=N]",
@@ -96,7 +127,7 @@ fn main() {
         Some("all") => {
             let started = Instant::now();
             for (id, _) in list_experiments() {
-                run_one(id);
+                run_one(id, timing);
             }
             println!(
                 "[all experiments completed in {:.1}s]",
@@ -104,7 +135,7 @@ fn main() {
             );
         }
         Some(id) => {
-            if !run_one(id) {
+            if !run_one(id, timing) {
                 usage();
             }
         }

@@ -8,6 +8,14 @@
 //! Back-to-back here means the two protocols see the *same* round seed —
 //! the identical network realization — which is a paired design stronger
 //! than the paper's wall-clock adjacency.
+//!
+//! Every `_par` entry point shards its `(scenario, protocol, round)` cells
+//! through [`run_ordered`], the chunked deterministic scheduler: results
+//! are reassembled in cell order regardless of worker count or chunk size
+//! (`LONGLOOK_JOBS` / `LONGLOOK_CHUNK`), and in debug builds the runner
+//! wraps each cell in a `CellGuard` so a closure that leaked a `SimRng`
+//! or `World` across cells panics naming both cells instead of silently
+//! correlating rounds.
 
 use crate::runner::{run_ordered, Parallelism};
 use crate::testbed::{FlowSpec, NetProfile, ProxyTestbed, Testbed};

@@ -63,7 +63,9 @@ pub mod prelude {
     };
     pub use crate::params::{render_table1, ParameterSpace};
     pub use crate::rootcause::{compare_machines, infer_from_records};
-    pub use crate::runner::{run_ordered, Parallelism};
+    pub use crate::runner::{
+        run_ordered, run_ordered_chunked, run_ordered_reporting, Parallelism, RunnerReport,
+    };
     pub use crate::testbed::{FlowSpec, NetProfile, ProxyTestbed, Testbed};
     pub use crate::versions::QuicVersion;
     pub use longlook_http::app::{BulkClient, ClientApp, WebClient};

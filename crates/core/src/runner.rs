@@ -1,4 +1,5 @@
-//! Work-stealing parallel execution of independent experiment cells.
+//! Chunked work-stealing parallel execution of independent experiment
+//! cells (runner v2).
 //!
 //! The experiment matrix of Sec 3.3 — `(scenario, protocol, round)` cells,
 //! ≥ 10 rounds per scenario, swept over bandwidth × loss × RTT grids — is
@@ -8,21 +9,31 @@
 //! threads and reassembles results **in deterministic cell order**, so
 //! parallel execution is bit-identical to serial execution. That claim is
 //! not an assumption: the `determinism_equivalence` suite in
-//! `longlook-integration` regression-tests it field-for-field.
+//! `longlook-integration` regression-tests it field-for-field, and the
+//! debug-build RNG isolation guard ([`longlook_sim::CellGuard`]) panics
+//! the moment an experiment closure shares a `SimRng` or `World` across
+//! cells.
 //!
-//! Scheduling is dynamic self-scheduling (a shared atomic cursor): each
-//! worker repeatedly claims the next unclaimed cell index, so long cells
-//! (e.g. 10 MB transfers at 5 Mbps) do not straggle behind a static
-//! partition. Results flow back over an mpsc channel tagged with their
-//! cell index and are placed into their slot before any
-//! `longlook-stats` aggregation (Welch tests, heatmap cells) runs.
+//! Scheduling is dynamic self-scheduling over **chunks**: each worker
+//! claims a contiguous run of cell indices from a shared atomic cursor
+//! (auto-tuned size, override with `LONGLOOK_CHUNK`), so long cells do
+//! not straggle behind a static partition while the cursor stops
+//! ping-ponging between cores on large heatmap sweeps. Finished chunks
+//! travel back over the mpsc channel as one message each and are placed
+//! into their slots before any `longlook-stats` aggregation (Welch tests,
+//! heatmap cells) runs. [`run_ordered_reporting`] additionally returns a
+//! [`RunnerReport`] with per-cell wall-clock and per-worker claim
+//! counters, so chunking wins are measurable (`repro --timing`) rather
+//! than asserted.
 //!
 //! No external crates: `std::thread`, `std::sync::atomic`, and
 //! `std::sync::mpsc` only (the build environment has no crate registry).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use longlook_sim::{CellGuard, CellId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, Once};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// How to execute a batch of independent experiment cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,22 +45,43 @@ pub enum Parallelism {
     Threads(usize),
 }
 
+/// Warn exactly once per process about an unparsable environment knob, so
+/// a misconfigured CI run (`LONGLOOK_JOBS=four`) is visible on stderr
+/// instead of silently falling back to auto-detection.
+fn warn_bad_env(var: &str, value: &str, fallback: &str, once: &'static Once) {
+    once.call_once(|| {
+        eprintln!(
+            "warning: ignoring unparsable {var}={value:?} (expected a non-negative \
+             integer); using {fallback}"
+        );
+    });
+}
+
 impl Parallelism {
     /// The environment variable overriding the default worker count.
     pub const JOBS_ENV: &'static str = "LONGLOOK_JOBS";
 
     /// Resolve the session default: `LONGLOOK_JOBS` if set (`0` or `1`
     /// mean serial), otherwise one worker per available hardware thread.
+    /// An unparsable value falls back to auto-detection with a one-time
+    /// warning on stderr.
     pub fn auto() -> Self {
-        match std::env::var(Self::JOBS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            Some(0) | Some(1) => Parallelism::Serial,
-            Some(n) => Parallelism::Threads(n),
-            None => Parallelism::Threads(
+        static WARNED: Once = Once::new();
+        let hardware = || {
+            Parallelism::Threads(
                 thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            ),
+            )
+        };
+        match std::env::var(Self::JOBS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) | Ok(1) => Parallelism::Serial,
+                Ok(n) => Parallelism::Threads(n),
+                Err(_) => {
+                    warn_bad_env(Self::JOBS_ENV, &v, "hardware thread count", &WARNED);
+                    hardware()
+                }
+            },
+            Err(_) => hardware(),
         }
     }
 
@@ -62,42 +94,274 @@ impl Parallelism {
     }
 }
 
+/// The environment variable overriding the claim-chunk size (`0` or unset
+/// means auto-tune; see [`chunk_size`]).
+pub const CHUNK_ENV: &str = "LONGLOOK_CHUNK";
+
+/// Cap on the auto-tuned chunk size: past this, cursor traffic is already
+/// negligible and bigger chunks only hurt load balance.
+const CHUNK_CAP: usize = 64;
+
+/// Chunks each worker should get to claim, on average, under the
+/// auto-tune: enough that one slow chunk cannot straggle the batch.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Resolve the claim-chunk size for a batch of `n` cells on `jobs`
+/// workers: `LONGLOOK_CHUNK` if set and non-zero, otherwise
+/// `ceil(n / (jobs * 8))` capped at 64 — large sweeps claim tens of cells
+/// per atomic op, while small batches keep chunk 1 and lose nothing.
+pub fn chunk_size(n: usize, jobs: usize) -> usize {
+    static WARNED: Once = Once::new();
+    let configured = match std::env::var(CHUNK_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(c) => Some(c),
+            Err(_) => {
+                warn_bad_env(CHUNK_ENV, &v, "auto-tuned chunk size", &WARNED);
+                None
+            }
+        },
+        Err(_) => None,
+    };
+    match configured {
+        Some(c) if c > 0 => c,
+        _ => n
+            .div_ceil(jobs.max(1) * CHUNKS_PER_WORKER)
+            .clamp(1, CHUNK_CAP),
+    }
+}
+
+/// What one worker thread did during a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Cells this worker computed.
+    pub cells: usize,
+    /// Chunks this worker claimed from the cursor.
+    pub chunks: usize,
+}
+
+/// Timing and scheduling telemetry for one [`run_ordered_reporting`]
+/// batch. Results stay bit-identical whatever these numbers say; the
+/// report exists so chunking/parallelism wins are measured, not asserted.
+#[derive(Debug, Clone)]
+pub struct RunnerReport {
+    /// Worker threads used (1 = serial on the calling thread).
+    pub jobs: usize,
+    /// Claim-chunk size used (serial batches claim everything at once).
+    pub chunk: usize,
+    /// Wall-clock for the whole batch, including reassembly.
+    pub elapsed: Duration,
+    /// Per-cell wall-clock, indexed by cell.
+    pub cell_wall: Vec<Duration>,
+    /// Per-worker claim counters (one entry per worker thread).
+    pub workers: Vec<WorkerStats>,
+}
+
+impl RunnerReport {
+    /// Sum of all per-cell wall-clock times (the serial-equivalent work).
+    pub fn total_cell_time(&self) -> Duration {
+        self.cell_wall.iter().sum()
+    }
+
+    /// Parallel speedup actually achieved: total cell time / elapsed.
+    pub fn speedup(&self) -> f64 {
+        let e = self.elapsed.as_secs_f64();
+        if e == 0.0 {
+            return 1.0;
+        }
+        self.total_cell_time().as_secs_f64() / e
+    }
+
+    /// One-paragraph human-readable rendering (the `repro --timing`
+    /// output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{} cells in {:.3}s (cell time {:.3}s, {:.2}x), jobs {}, chunk {}",
+            self.cell_wall.len(),
+            self.elapsed.as_secs_f64(),
+            self.total_cell_time().as_secs_f64(),
+            self.speedup(),
+            self.jobs,
+            self.chunk,
+        );
+        if self.jobs > 1 {
+            let claims: Vec<String> = self
+                .workers
+                .iter()
+                .map(|w| format!("{}c/{}k", w.cells, w.chunks))
+                .collect();
+            let _ = write!(out, ", workers [{}]", claims.join(" "));
+        }
+        // Name the slowest cells: these are the stragglers chunking must
+        // not glue together.
+        let mut ranked: Vec<(usize, Duration)> =
+            self.cell_wall.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let slow: Vec<String> = ranked
+            .iter()
+            .take(3)
+            .filter(|(_, d)| *d > Duration::ZERO)
+            .map(|(i, d)| format!("#{i} {:.0}ms", d.as_secs_f64() * 1e3))
+            .collect();
+        if !slow.is_empty() {
+            let _ = write!(out, ", slowest cells: {}", slow.join(", "));
+        }
+        out
+    }
+}
+
+/// Global timing sink: when enabled (`repro --timing`), every
+/// [`run_ordered`] batch deposits its [`RunnerReport`] here for the CLI
+/// to drain and print after the experiment.
+static TIMING_ENABLED: AtomicUsize = AtomicUsize::new(0);
+static TIMING_REPORTS: Mutex<Vec<RunnerReport>> = Mutex::new(Vec::new());
+
+/// Enable/disable the process-wide timing sink.
+pub fn set_timing(enabled: bool) {
+    TIMING_ENABLED.store(usize::from(enabled), Ordering::Relaxed);
+}
+
+/// Drain every report deposited since the last call.
+pub fn take_timing_reports() -> Vec<RunnerReport> {
+    std::mem::take(&mut *TIMING_REPORTS.lock().expect("timing sink poisoned"))
+}
+
+/// Monotonic batch counter feeding [`CellId::batch`], so cell identities
+/// never collide across successive `run_ordered` calls and the isolation
+/// guard can name the offending pair exactly.
+static BATCH: AtomicU64 = AtomicU64::new(0);
+
+/// One worker→collector message: a finished chunk. Carrying whole chunks
+/// (rather than one message per cell) is what lets large sweeps scale —
+/// channel traffic drops by the chunk factor alongside cursor traffic.
+struct ChunkMsg<T> {
+    worker: usize,
+    start: usize,
+    values: Vec<T>,
+    walls: Vec<Duration>,
+    /// Panic payload of cell `start + values.len()`, if that cell blew up.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
 /// Execute `f(0..n)` under `par` and return results **in index order**.
 ///
 /// `f` must be a pure function of its index for the determinism guarantee
 /// to hold (every experiment cell in this workspace is: the cell derives
-/// its own seed and builds its own `World`). Worker panics propagate to
-/// the caller once all workers have drained.
+/// its own seed and builds its own `World` — and the debug-build RNG
+/// isolation guard enforces exactly that). Worker panics propagate to the
+/// caller once all workers have drained.
 pub fn run_ordered<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let (values, report) = run_ordered_reporting(par, n, f);
+    if TIMING_ENABLED.load(Ordering::Relaxed) != 0 {
+        TIMING_REPORTS
+            .lock()
+            .expect("timing sink poisoned")
+            .push(report);
+    }
+    values
+}
+
+/// [`run_ordered`] plus a [`RunnerReport`] describing how the batch was
+/// scheduled and where the time went.
+pub fn run_ordered_reporting<T, F>(par: Parallelism, n: usize, f: F) -> (Vec<T>, RunnerReport)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_ordered_chunked(par, None, n, f)
+}
+
+/// [`run_ordered_reporting`] with an explicit chunk-size override
+/// (`None` = resolve from `LONGLOOK_CHUNK` / auto-tune). The override
+/// exists so the determinism-equivalence suite can pin chunk sizes
+/// without mutating process environment.
+pub fn run_ordered_chunked<T, F>(
+    par: Parallelism,
+    chunk: Option<usize>,
+    n: usize,
+    f: F,
+) -> (Vec<T>, RunnerReport)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let started = Instant::now();
+    let batch = BATCH.fetch_add(1, Ordering::Relaxed);
     let jobs = par.jobs().min(n.max(1));
     if jobs <= 1 {
-        return (0..n).map(f).collect();
+        return run_serial(batch, n, started, f);
     }
+    let chunk = chunk
+        .filter(|&c| c > 0)
+        .unwrap_or_else(|| chunk_size(n, jobs));
 
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, thread::Result<T>)>();
+    let (tx, rx) = mpsc::channel::<ChunkMsg<T>>();
+    let mut report = RunnerReport {
+        jobs,
+        chunk,
+        elapsed: Duration::ZERO,
+        cell_wall: vec![Duration::ZERO; n],
+        workers: vec![WorkerStats::default(); jobs],
+    };
     let mut slots: Vec<Option<T>> = thread::scope(|scope| {
-        for _ in 0..jobs {
+        for worker in 0..jobs {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
             scope.spawn(move || loop {
-                // Dynamic self-scheduling: claim the next unclaimed cell.
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                // Dynamic self-scheduling: claim the next unclaimed run of
+                // `chunk` cells in one atomic op.
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                // Catch a cell's panic so its original payload reaches
-                // the caller (a bare scoped-thread panic would be
-                // replaced by "a scoped thread panicked").
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
-                let failed = result.is_err();
+                let end = (start + chunk).min(n);
+                // Buffer the whole chunk locally; the channel carries one
+                // message per chunk, not per cell.
+                let mut values = Vec::with_capacity(end - start);
+                let mut walls = Vec::with_capacity(end - start);
+                let mut panic = None;
+                for i in start..end {
+                    let cell = CellId {
+                        batch,
+                        index: i as u64,
+                    };
+                    let t0 = Instant::now();
+                    // Catch a cell's panic so its original payload reaches
+                    // the caller (a bare scoped-thread panic would be
+                    // replaced by "a scoped thread panicked"). The guard
+                    // drops (restoring the scope) during unwinding too.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _guard = CellGuard::enter(cell);
+                        f(i)
+                    })) {
+                        Ok(v) => {
+                            walls.push(t0.elapsed());
+                            values.push(v);
+                        }
+                        Err(payload) => {
+                            panic = Some(payload);
+                            break;
+                        }
+                    }
+                }
+                let failed = panic.is_some();
+                let msg = ChunkMsg {
+                    worker,
+                    start,
+                    values,
+                    walls,
+                    panic,
+                };
                 // A send error means the collector is gone; just stop.
-                if tx.send((i, result)).is_err() || failed {
+                if tx.send(msg).is_err() || failed {
                     break;
                 }
             });
@@ -107,13 +371,17 @@ where
         // every worker has exited (all senders dropped).
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut panic_payload = None;
-        for (i, result) in rx {
-            match result {
-                Ok(value) => slots[i] = Some(value),
-                Err(payload) => {
-                    panic_payload.get_or_insert(payload);
-                }
-            };
+        for msg in rx {
+            let stats = &mut report.workers[msg.worker];
+            stats.chunks += 1;
+            stats.cells += msg.values.len();
+            for (j, (value, wall)) in msg.values.into_iter().zip(msg.walls).enumerate() {
+                slots[msg.start + j] = Some(value);
+                report.cell_wall[msg.start + j] = wall;
+            }
+            if let Some(payload) = msg.panic {
+                panic_payload.get_or_insert(payload);
+            }
         }
         if let Some(payload) = panic_payload {
             std::panic::resume_unwind(payload);
@@ -124,10 +392,49 @@ where
     slots
         .iter()
         .for_each(|s| debug_assert!(s.is_some(), "worker skipped a cell"));
-    slots
-        .drain(..)
-        .map(|s| s.expect("every cell index was claimed and computed"))
-        .collect()
+    report.elapsed = started.elapsed();
+    (
+        slots
+            .drain(..)
+            .map(|s| s.expect("every cell index was claimed and computed"))
+            .collect(),
+        report,
+    )
+}
+
+/// Serial path: the calling thread claims the whole batch as one chunk.
+/// Cells still run under per-cell guards, so the RNG isolation check is
+/// exactly as strict at `-j 1` as it is threaded.
+fn run_serial<T, F>(batch: u64, n: usize, started: Instant, f: F) -> (Vec<T>, RunnerReport)
+where
+    F: Fn(usize) -> T,
+{
+    let mut report = RunnerReport {
+        jobs: 1,
+        chunk: n.max(1),
+        elapsed: Duration::ZERO,
+        cell_wall: Vec::with_capacity(n),
+        workers: vec![WorkerStats {
+            cells: n,
+            chunks: usize::from(n > 0),
+        }],
+    };
+    let values = (0..n)
+        .map(|i| {
+            let cell = CellId {
+                batch,
+                index: i as u64,
+            };
+            let t0 = Instant::now();
+            let _guard = CellGuard::enter(cell);
+            let v = f(i);
+            drop(_guard);
+            report.cell_wall.push(t0.elapsed());
+            v
+        })
+        .collect();
+    report.elapsed = started.elapsed();
+    (values, report)
 }
 
 #[cfg(test)]
@@ -140,6 +447,19 @@ mod tests {
         let serial = run_ordered(Parallelism::Serial, 100, f);
         for jobs in [2, 4, 16] {
             assert_eq!(serial, run_ordered(Parallelism::Threads(jobs), 100, f));
+        }
+    }
+
+    #[test]
+    fn explicit_chunk_sizes_are_result_invariant() {
+        let f = |i: usize| (i as u64).wrapping_mul(0xD134_2543_DE82_EF95);
+        let (serial, _) = run_ordered_chunked(Parallelism::Serial, None, 97, f);
+        for chunk in [1, 2, 7, 16, 64, 1000] {
+            let (par, rep) = run_ordered_chunked(Parallelism::Threads(4), Some(chunk), 97, f);
+            assert_eq!(serial, par, "chunk {chunk} changed results");
+            assert_eq!(rep.chunk, chunk);
+            assert_eq!(rep.workers.iter().map(|w| w.cells).sum::<usize>(), 97);
+            assert_eq!(rep.cell_wall.len(), 97);
         }
     }
 
@@ -177,9 +497,69 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "cell 2 exploded")]
+    fn panic_mid_chunk_propagates() {
+        let _ = run_ordered_chunked(Parallelism::Threads(2), Some(8), 16, |i| {
+            assert!(i != 2, "cell {i} exploded");
+            i
+        });
+    }
+
+    #[test]
     fn jobs_resolution() {
         assert_eq!(Parallelism::Serial.jobs(), 1);
         assert_eq!(Parallelism::Threads(0).jobs(), 1);
         assert_eq!(Parallelism::Threads(6).jobs(), 6);
+    }
+
+    #[test]
+    fn chunk_auto_tune_shape() {
+        // Small batches stay at 1 — nothing to amortize.
+        assert_eq!(chunk_size(4, 4), 1);
+        assert_eq!(chunk_size(0, 4), 1);
+        // Large sweeps amortize the cursor but keep ~8 chunks per worker.
+        assert_eq!(chunk_size(320, 4), 10);
+        assert_eq!(chunk_size(1000, 2), 63);
+        // Capped so balance survives very large n.
+        assert_eq!(chunk_size(1_000_000, 4), CHUNK_CAP);
+    }
+
+    #[test]
+    fn report_accounts_for_every_cell() {
+        let (_, rep) = run_ordered_reporting(Parallelism::Threads(3), 50, |i| i);
+        assert_eq!(rep.jobs, 3);
+        assert_eq!(rep.cell_wall.len(), 50);
+        assert_eq!(rep.workers.len(), 3);
+        assert_eq!(rep.workers.iter().map(|w| w.cells).sum::<usize>(), 50);
+        assert!(rep.workers.iter().map(|w| w.chunks).sum::<usize>() >= 1);
+        let text = rep.render();
+        assert!(text.contains("50 cells"), "{text}");
+        assert!(text.contains("jobs 3"), "{text}");
+    }
+
+    #[test]
+    fn serial_report_shape() {
+        let (vals, rep) = run_ordered_reporting(Parallelism::Serial, 5, |i| i);
+        assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rep.jobs, 1);
+        assert_eq!(
+            rep.workers,
+            vec![WorkerStats {
+                cells: 5,
+                chunks: 1
+            }]
+        );
+        assert_eq!(rep.cell_wall.len(), 5);
+    }
+
+    #[test]
+    fn timing_sink_collects_when_enabled() {
+        set_timing(true);
+        let _ = take_timing_reports(); // drop anything a sibling test left
+        let _ = run_ordered(Parallelism::Threads(2), 10, |i| i);
+        let reports = take_timing_reports();
+        set_timing(false);
+        // Sibling tests may deposit concurrently; just require ours landed.
+        assert!(reports.iter().any(|r| r.cell_wall.len() == 10));
     }
 }

@@ -23,7 +23,7 @@ pub mod world;
 pub use device::{DeviceCpu, DeviceProfile};
 pub use link::{DropKind, Jitter, LinkConfig, LinkDir, LinkStats, ReorderSpec, Verdict};
 pub use packet::{FlowId, NodeId, Packet, PktClass};
-pub use rng::SimRng;
+pub use rng::{current_cell, CellGuard, CellId, IsolationTag, SimRng};
 pub use schedule::RateSchedule;
 pub use time::{transmission_delay, Dur, Time};
 pub use world::{Agent, Ctx, RunOutcome, World};

@@ -12,6 +12,117 @@
 //! via a dependency upgrade. That stability is what the determinism-
 //! equivalence suite in `longlook-integration` regression-tests.
 
+/// Identity of one experiment cell for the debug-build isolation guard:
+/// the `index`-th cell of the `batch`-th `run_ordered` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellId {
+    /// Which runner batch the cell belongs to (monotonic per process).
+    pub batch: u64,
+    /// Cell index within the batch.
+    pub index: u64,
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} of batch {}", self.index, self.batch)
+    }
+}
+
+#[cfg(debug_assertions)]
+mod guard_state {
+    use super::CellId;
+    use std::cell::Cell;
+
+    thread_local! {
+        /// The cell currently executing on this thread, if any.
+        pub static CURRENT: Cell<Option<CellId>> = const { Cell::new(None) };
+    }
+}
+
+/// RAII token marking "this thread is now executing experiment cell X".
+///
+/// The parallel runner installs one around every cell closure. While a
+/// guard is active, every [`SimRng`] draw (and every `World` step) on this
+/// thread registers the cell as the owner of that object on first use; a
+/// later use from a *different* cell panics in debug builds, naming both
+/// cells. This turns the methodology requirement of Sec 3.3 — every
+/// `(scenario, protocol, round)` cell derives its own seed and shares no
+/// RNG state — into a permanent mechanical check instead of a code-review
+/// item. Release builds compile the whole mechanism away.
+#[derive(Debug)]
+pub struct CellGuard {
+    #[cfg(debug_assertions)]
+    prev: Option<CellId>,
+}
+
+impl CellGuard {
+    /// Enter a cell scope; the previous scope (if any) is restored on drop.
+    #[allow(unused_variables)]
+    pub fn enter(cell: CellId) -> CellGuard {
+        #[cfg(debug_assertions)]
+        {
+            let prev = guard_state::CURRENT.with(|c| c.replace(Some(cell)));
+            CellGuard { prev }
+        }
+        #[cfg(not(debug_assertions))]
+        CellGuard {}
+    }
+}
+
+impl Drop for CellGuard {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        guard_state::CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// The cell currently executing on this thread (`None` outside any cell,
+/// and always `None` in release builds).
+pub fn current_cell() -> Option<CellId> {
+    #[cfg(debug_assertions)]
+    {
+        guard_state::CURRENT.with(std::cell::Cell::get)
+    }
+    #[cfg(not(debug_assertions))]
+    None
+}
+
+/// Debug-build ownership tag embedded in [`SimRng`] and `World`.
+///
+/// First use inside a [`CellGuard`] scope claims the object for that cell;
+/// any later use from a different cell is a determinism bug (shared
+/// stochastic state makes cells statistically dependent and makes results
+/// depend on execution order) and panics. Uses outside any cell scope are
+/// unchecked, so ordinary unit tests and ad-hoc tooling are unaffected.
+/// In release builds this is a zero-sized no-op.
+#[derive(Debug, Clone, Default)]
+pub struct IsolationTag {
+    #[cfg(debug_assertions)]
+    owner: std::cell::Cell<Option<CellId>>,
+}
+
+impl IsolationTag {
+    /// Register/verify ownership; `what` names the guarded object in the
+    /// panic message.
+    #[inline]
+    #[allow(unused_variables)]
+    pub fn check(&self, what: &str) {
+        #[cfg(debug_assertions)]
+        {
+            let Some(cur) = current_cell() else { return };
+            match self.owner.get() {
+                None => self.owner.set(Some(cur)),
+                Some(prev) if prev != cur => panic!(
+                    "RNG isolation violation: {what} first used in {prev} was reused in {cur}; \
+                     every (scenario, protocol, round) cell must build its own World/SimRng \
+                     from its derived seed"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
 /// SplitMix64 step; used for seed expansion and [`hash_unit`].
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
@@ -27,6 +138,10 @@ fn splitmix64(state: &mut u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct SimRng {
     s: [u64; 4],
+    /// Debug-build cell-ownership tag; cloning carries the owner with it
+    /// (a cloned stream shared across cells duplicates draws, which is
+    /// just as order-dependent as sharing the original).
+    tag: IsolationTag,
 }
 
 impl SimRng {
@@ -43,7 +158,10 @@ impl SimRng {
         if s == [0, 0, 0, 0] {
             s[0] = 0x9E37_79B9_7F4A_7C15;
         }
-        SimRng { s }
+        SimRng {
+            s,
+            tag: IsolationTag::default(),
+        }
     }
 
     /// Derive an independent child generator; mixing in a label keeps
@@ -54,8 +172,10 @@ impl SimRng {
         SimRng::new(s)
     }
 
-    /// Raw 64-bit draw (xoshiro256++).
+    /// Raw 64-bit draw (xoshiro256++). Every distribution helper funnels
+    /// through here, so this is the single isolation-guard chokepoint.
     pub fn next_u64(&mut self) -> u64 {
+        self.tag.check("SimRng");
         let result = self.s[0]
             .wrapping_add(self.s[3])
             .rotate_left(23)
@@ -221,6 +341,79 @@ mod tests {
         let mut b = root.fork(2);
         let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn guard_allows_per_cell_rngs_and_untagged_use() {
+        // Outside any cell scope: unchecked.
+        let mut free = SimRng::new(1);
+        let _ = free.next_u64();
+        // One rng per cell: fine, including reuse of the same rng within
+        // its own cell and across nested draws.
+        for i in 0..4 {
+            let _g = CellGuard::enter(CellId { batch: 1, index: i });
+            assert_eq!(current_cell(), Some(CellId { batch: 1, index: i }));
+            let mut rng = SimRng::new(i);
+            let _ = rng.next_u64();
+            let _ = rng.chance(0.5);
+            let mut child = rng.fork(7);
+            let _ = child.next_u64();
+        }
+        assert_eq!(current_cell(), None, "guard restored on drop");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "RNG isolation violation")]
+    fn guard_panics_on_cross_cell_sharing() {
+        let mut shared = SimRng::new(42);
+        {
+            let _g = CellGuard::enter(CellId { batch: 9, index: 0 });
+            let _ = shared.next_u64();
+        }
+        let _g = CellGuard::enter(CellId { batch: 9, index: 1 });
+        let _ = shared.next_u64();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "RNG isolation violation")]
+    fn guard_panics_on_cross_cell_clone() {
+        let cloned = {
+            let _g = CellGuard::enter(CellId {
+                batch: 10,
+                index: 0,
+            });
+            let mut rng = SimRng::new(5);
+            let _ = rng.next_u64();
+            rng.clone()
+        };
+        let _g = CellGuard::enter(CellId {
+            batch: 10,
+            index: 1,
+        });
+        let mut cloned = cloned;
+        let _ = cloned.next_u64();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn guard_nesting_restores_outer_cell() {
+        let outer = CellId {
+            batch: 11,
+            index: 3,
+        };
+        let inner = CellId {
+            batch: 12,
+            index: 0,
+        };
+        let _g = CellGuard::enter(outer);
+        {
+            let _h = CellGuard::enter(inner);
+            assert_eq!(current_cell(), Some(inner));
+        }
+        assert_eq!(current_cell(), Some(outer));
     }
 
     #[test]

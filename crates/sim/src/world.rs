@@ -8,7 +8,7 @@
 use crate::device::{DeviceCpu, DeviceProfile};
 use crate::link::{LinkConfig, LinkDir, LinkStats, Verdict};
 use crate::packet::{NodeId, Packet};
-use crate::rng::SimRng;
+use crate::rng::{IsolationTag, SimRng};
 use crate::time::Time;
 use std::any::Any;
 use std::cmp::Reverse;
@@ -117,6 +117,10 @@ pub struct World {
     rng: SimRng,
     stop: bool,
     events_processed: u64,
+    /// Debug-build cell-ownership tag (see [`crate::rng::IsolationTag`]):
+    /// a `World` shared across experiment cells is caught even before any
+    /// of its RNG streams draw.
+    tag: IsolationTag,
 }
 
 impl World {
@@ -131,6 +135,7 @@ impl World {
             rng: SimRng::new(seed),
             stop: false,
             events_processed: 0,
+            tag: IsolationTag::default(),
         }
     }
 
@@ -239,6 +244,7 @@ impl World {
 
     /// Process one event. Returns `false` when the heap is exhausted.
     pub fn step(&mut self) -> bool {
+        self.tag.check("World");
         let Some(Reverse(sched)) = self.heap.pop() else {
             return false;
         };

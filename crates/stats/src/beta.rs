@@ -124,6 +124,65 @@ pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
     incomplete_beta(df / 2.0, 0.5, df / (df + t * t))
 }
 
+/// Inverse of the regularized incomplete beta function: the `x` in [0, 1]
+/// with `I_x(a, b) = p`.
+///
+/// Bisection on the monotone CDF — ~60 halvings reach f64 resolution,
+/// which is plenty for confidence bounds (and has no divergence corner
+/// cases, unlike Newton steps near 0/1).
+pub fn incomplete_beta_inv(a: f64, b: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if incomplete_beta(a, b, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Exact Clopper–Pearson confidence interval for a binomial proportion:
+/// `successes` out of `trials` at confidence `1 - alpha`.
+///
+/// The beta-quantile form: lower bound `B(α/2; s, n-s+1)` (0 when `s = 0`),
+/// upper bound `B(1-α/2; s+1, n-s)` (1 when `s = n`). The interval is
+/// conservative (coverage ≥ 1-α) and by construction always contains the
+/// point estimate `s/n` — properties the win-rate property tests pin down.
+pub fn binomial_ci(successes: u64, trials: u64, alpha: f64) -> (f64, f64) {
+    assert!(successes <= trials, "successes cannot exceed trials");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must lie strictly in (0, 1)"
+    );
+    if trials == 0 {
+        return (0.0, 1.0); // no evidence: the vacuous interval
+    }
+    let (s, n) = (successes as f64, trials as f64);
+    let lower = if successes == 0 {
+        0.0
+    } else {
+        incomplete_beta_inv(s, n - s + 1.0, alpha / 2.0)
+    };
+    let upper = if successes == trials {
+        1.0
+    } else {
+        incomplete_beta_inv(s + 1.0, n - s, 1.0 - alpha / 2.0)
+    };
+    (lower, upper)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +232,33 @@ mod tests {
         close(student_t_two_sided_p(0.0, 7.0), 1.0, 1e-12);
         // Large t: p goes to ~0.
         assert!(student_t_two_sided_p(50.0, 10.0) < 1e-10);
+    }
+
+    #[test]
+    fn beta_inverse_round_trips() {
+        for &(a, b) in &[(2.0, 3.0), (0.5, 0.5), (10.0, 1.0), (7.0, 7.0)] {
+            for p in [0.01, 0.1, 0.5, 0.9, 0.99] {
+                let x = incomplete_beta_inv(a, b, p);
+                close(incomplete_beta(a, b, x), p, 1e-9);
+            }
+        }
+        assert_eq!(incomplete_beta_inv(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta_inv(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_reference_values() {
+        // 5/10 at 95%: the textbook Clopper–Pearson interval.
+        let (lo, hi) = binomial_ci(5, 10, 0.05);
+        close(lo, 0.187, 2e-3);
+        close(hi, 0.813, 2e-3);
+        // Rule of three: 0/n upper bound ~ 3/n.
+        let (lo, hi) = binomial_ci(0, 100, 0.05);
+        assert_eq!(lo, 0.0);
+        close(hi, 0.0362, 1e-3);
+        // Degenerate edges.
+        assert_eq!(binomial_ci(10, 10, 0.05).1, 1.0);
+        assert_eq!(binomial_ci(0, 0, 0.05), (0.0, 1.0));
     }
 
     #[test]

@@ -109,6 +109,15 @@ impl Heatmap {
         }
     }
 
+    /// Exact Clopper–Pearson interval on [`Self::candidate_win_rate`] at
+    /// confidence `1 - alpha`, treating each decided (non-white) cell as
+    /// one Bernoulli trial. With no decided cells the interval is the
+    /// vacuous `(0, 1)`.
+    pub fn candidate_win_rate_ci(&self, alpha: f64) -> (f64, f64) {
+        let (red, blue, _) = self.verdict_counts();
+        crate::beta::binomial_ci(red as u64, (red + blue) as u64, alpha)
+    }
+
     /// Count of cells per verdict: `(red, blue, white)`.
     pub fn verdict_counts(&self) -> (usize, usize, usize) {
         let mut r = 0;
@@ -245,6 +254,16 @@ mod tests {
     fn empty_heatmap_win_rate_is_zero() {
         let h = Heatmap::new("t", vec!["r".into()], vec!["c".into()]);
         assert_eq!(h.candidate_win_rate(), 0.0);
+        assert_eq!(h.candidate_win_rate_ci(0.05), (0.0, 1.0));
+    }
+
+    #[test]
+    fn win_rate_ci_brackets_the_rate() {
+        let h = sample_map(); // 1 red of 2 decided
+        let (lo, hi) = h.candidate_win_rate_ci(0.05);
+        let rate = h.candidate_win_rate();
+        assert!(lo <= rate && rate <= hi, "({lo}, {hi}) vs {rate}");
+        assert!(lo >= 0.0 && hi <= 1.0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod heatmap;
 pub mod summary;
 pub mod welch;
 
+pub use beta::{binomial_ci, incomplete_beta, incomplete_beta_inv};
 pub use compare::{percent_difference, Comparison, Verdict};
 pub use heatmap::{Heatmap, HeatmapCell};
 pub use summary::Summary;

@@ -1,9 +1,24 @@
 //! Property-based tests for the statistics layer.
 
-use longlook_stats::beta::{incomplete_beta, student_t_two_sided_p};
+use longlook_stats::beta::{binomial_ci, incomplete_beta, student_t_two_sided_p};
+use longlook_stats::heatmap::HeatmapCell;
 use longlook_stats::summary::{median, percentile};
 use longlook_stats::{welch_t_test, Comparison, Summary, Verdict};
 use proptest::prelude::*;
+
+/// Deterministic Fisher–Yates driven by proptest-chosen indices: swap
+/// element `i` with `swaps[i].index(i + 1)` for `i = len-1 .. 1`.
+fn permuted(xs: &[f64], swaps: &[prop::sample::Index]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    if out.len() < 2 || swaps.is_empty() {
+        return out;
+    }
+    for i in (1..out.len()).rev() {
+        let j = swaps[i % swaps.len()].index(i + 1);
+        out.swap(i, j);
+    }
+    out
+}
 
 proptest! {
     /// Welford summary matches the naive two-pass computation.
@@ -105,5 +120,82 @@ proptest! {
         let c = Comparison::lower_is_better(&xs, &xs);
         prop_assert_eq!(c.verdict, Verdict::Inconclusive);
         prop_assert!(c.percent.abs() < 1e-9);
+    }
+
+    /// Welch's t is antisymmetric under swapping the two sample sets
+    /// (t → -t, identical p and df) and invariant under scaling both sets
+    /// by a common positive factor — the statistic is dimensionless, so
+    /// measuring PLT in seconds vs milliseconds cannot change a verdict.
+    #[test]
+    fn welch_swap_antisymmetric_and_scale_invariant(
+        a in proptest::collection::vec(1.0f64..1e4, 2..40),
+        b in proptest::collection::vec(1.0f64..1e4, 2..40),
+        scale in 1e-3f64..1e3,
+    ) {
+        let sa: Vec<f64> = a.iter().map(|x| x * scale).collect();
+        let sb: Vec<f64> = b.iter().map(|x| x * scale).collect();
+        if let (Some(ab), Some(ba), Some(scaled)) =
+            (welch_t_test(&a, &b), welch_t_test(&b, &a), welch_t_test(&sa, &sb))
+        {
+            // Antisymmetry under swap.
+            prop_assert!((ab.t + ba.t).abs() < 1e-9 * (1.0 + ab.t.abs()));
+            prop_assert!((ab.p - ba.p).abs() < 1e-9);
+            prop_assert!((ab.df - ba.df).abs() < 1e-9 * (1.0 + ab.df));
+            // Invariance under common positive scaling.
+            prop_assert!(
+                (ab.t - scaled.t).abs() < 1e-6 * (1.0 + ab.t.abs()),
+                "t {} vs {} at scale {}", ab.t, scaled.t, scale
+            );
+            prop_assert!((ab.df - scaled.df).abs() < 1e-6 * (1.0 + ab.df));
+            prop_assert!((ab.p - scaled.p).abs() < 1e-6);
+        }
+    }
+
+    /// Clopper–Pearson binomial intervals always lie in [0, 1], are
+    /// properly ordered, and contain the point estimate `s/n`.
+    #[test]
+    fn binomial_ci_contains_point_estimate(
+        trials in 1u64..400,
+        s_pick in any::<prop::sample::Index>(),
+        alpha in 0.001f64..0.5,
+    ) {
+        let successes = s_pick.index(trials as usize + 1) as u64;
+        let (lo, hi) = binomial_ci(successes, trials, alpha);
+        let p_hat = successes as f64 / trials as f64;
+        prop_assert!((0.0..=1.0).contains(&lo), "lo = {lo}");
+        prop_assert!((0.0..=1.0).contains(&hi), "hi = {hi}");
+        prop_assert!(lo <= hi, "({lo}, {hi})");
+        prop_assert!(lo <= p_hat + 1e-12 && p_hat <= hi + 1e-12,
+            "({lo}, {hi}) misses p̂ = {p_hat} at s = {successes}, n = {trials}");
+        // Tighter alpha (more confidence) can only widen the interval.
+        let (lo2, hi2) = binomial_ci(successes, trials, alpha / 2.0);
+        prop_assert!(lo2 <= lo + 1e-12 && hi <= hi2 + 1e-12);
+    }
+
+    /// Heatmap cell classification is a function of the sample *sets*,
+    /// not their order: permuting each side's samples reproduces the exact
+    /// same percent, p-value and verdict. (Welch's statistic is computed
+    /// from exact streaming summaries, so this holds bit-for-bit modulo
+    /// float summation tolerance.)
+    #[test]
+    fn heatmap_cell_stable_under_permutation(
+        a in proptest::collection::vec(1.0f64..1e4, 2..40),
+        b in proptest::collection::vec(1.0f64..1e4, 2..40),
+        swaps in proptest::collection::vec(any::<prop::sample::Index>(), 1..64),
+    ) {
+        let cell = HeatmapCell::from_comparison(&Comparison::lower_is_better(&a, &b));
+        let pa = permuted(&a, &swaps);
+        let pb = permuted(&b, &swaps);
+        // Permutation really happened on the same multiset.
+        let mut sa = a.clone(); let mut spa = pa.clone();
+        sa.sort_by(f64::total_cmp); spa.sort_by(f64::total_cmp);
+        prop_assert_eq!(sa, spa);
+        let pcell = HeatmapCell::from_comparison(&Comparison::lower_is_better(&pa, &pb));
+        prop_assert_eq!(cell.verdict, pcell.verdict);
+        prop_assert!((cell.percent - pcell.percent).abs() < 1e-6 * (1.0 + cell.percent.abs()));
+        match (cell.p_value, pcell.p_value) {
+            (Some(p1), Some(p2)) => prop_assert!((p1 - p2).abs() < 1e-6),
+            (n1, n2) => prop_assert_eq!(n1, n2),
+        }
     }
 }

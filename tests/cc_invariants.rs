@@ -1,0 +1,230 @@
+//! Congestion-control state-machine invariants (paper Fig 3a/3b, Table 3).
+//!
+//! Every inferred trace the Cubic and BBR experiments produce must stay
+//! inside the paper's legal transition graph, and the loss-recovery
+//! states must never be entered without loss evidence in the same run's
+//! counters. This is simulation-level invariant checking in the spirit of
+//! "State machine inference of QUIC" (Rasool et al.): end-to-end PLT
+//! diffs can stay plausible while the state machine silently goes wrong,
+//! so the machine itself is pinned here.
+
+use longlook_core::prelude::*;
+use std::collections::BTreeSet;
+
+/// Scenarios spanning the regimes that reach every state family: clean
+/// links (ApplicationLimited), heavy loss (Recovery), long-RTT tail-heavy
+/// pages (TailLossProbe), and a fast link for the app-limited extremes.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(NetProfile::baseline(10.0), PageSpec::single(50 * 1024))
+            .with_rounds(4)
+            .with_seed(8101),
+        Scenario::new(
+            NetProfile::baseline(20.0).with_loss(0.02),
+            PageSpec::single(300 * 1024),
+        )
+        .with_rounds(4)
+        .with_seed(8102),
+        Scenario::new(
+            NetProfile::baseline(1.0).with_loss(0.05),
+            PageSpec::single(100 * 1024),
+        )
+        .with_rounds(4)
+        .with_seed(8103),
+        Scenario::new(
+            NetProfile::baseline(5.0)
+                .with_extra_rtt(Dur::from_millis(100))
+                .with_loss(0.01),
+            PageSpec::uniform(8, 6 * 1024),
+        )
+        .with_rounds(4)
+        .with_seed(8104),
+        Scenario::new(NetProfile::baseline(100.0), PageSpec::single(10 * 1024))
+            .with_rounds(4)
+            .with_seed(8105),
+    ]
+}
+
+fn quic_with(cc: CcKind) -> ProtoConfig {
+    ProtoConfig::Quic(QuicConfig {
+        cc,
+        ..QuicConfig::default()
+    })
+}
+
+fn records_for(cc: CcKind) -> Vec<RunRecord> {
+    let proto = quic_with(cc);
+    scenarios()
+        .iter()
+        .flat_map(|sc| run_records(&proto, sc))
+        .collect()
+}
+
+/// Cubic's legal transition graph (paper Fig 3a / Table 3): `Init` is
+/// entered exactly once at handshake and never again; loss states are
+/// reachable from every established state; `CongestionAvoidanceMaxed` is
+/// an excursion from/into congestion avoidance. Anything not listed —
+/// above all `* -> Init` — is a forbidden transition.
+fn cubic_legal() -> BTreeSet<(&'static str, &'static str)> {
+    const SS: &str = "SlowStart";
+    const CA: &str = "CongestionAvoidance";
+    const CAM: &str = "CongestionAvoidanceMaxed";
+    const AL: &str = "ApplicationLimited";
+    const REC: &str = "Recovery";
+    const RTO: &str = "RetransmissionTimeout";
+    const TLP: &str = "TailLossProbe";
+    let mut edges = BTreeSet::new();
+    edges.insert(("Init", SS));
+    // Established states interleave freely (the tracker samples the
+    // connection's flags each tick), except no state ever returns to Init
+    // and loss states only appear with loss evidence (checked separately).
+    for from in [SS, CA, CAM, AL, REC, RTO, TLP] {
+        for to in [SS, CA, CAM, AL, REC, RTO, TLP] {
+            if from != to {
+                edges.insert((from, to));
+            }
+        }
+    }
+    // Slow start is only re-entered after an RTO or when the app went
+    // idle long enough to reset the window — never straight from CA.
+    edges.remove(&(CA, SS));
+    edges.remove(&(CAM, SS));
+    edges
+}
+
+/// BBR's legal graph is tiny and exact (paper Fig 3b):
+/// `Startup -> Drain -> ProbeBW <-> ProbeRTT`, nothing else — in
+/// particular Startup is never re-entered and Drain is only reached from
+/// Startup.
+fn bbr_legal() -> BTreeSet<(&'static str, &'static str)> {
+    [
+        ("Startup", "Drain"),
+        ("Drain", "ProbeBW"),
+        ("ProbeBW", "ProbeRTT"),
+        ("ProbeRTT", "ProbeBW"),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn assert_trace_legal(
+    records: &[RunRecord],
+    legal: &BTreeSet<(&'static str, &'static str)>,
+    initial: &str,
+    cc: CcKind,
+) {
+    let mut traces = 0;
+    for (k, rec) in records.iter().enumerate() {
+        let trace = rec
+            .server_trace
+            .as_ref()
+            .unwrap_or_else(|| panic!("{cc:?} record {k} lost its server trace"));
+        let labels = trace.labels();
+        assert!(!labels.is_empty(), "{cc:?} record {k}: empty trace");
+        assert_eq!(
+            labels[0], initial,
+            "{cc:?} record {k}: trace must start in {initial}"
+        );
+        for pair in labels.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            if from == to {
+                continue; // re-logged same state: not a transition
+            }
+            assert!(
+                legal.contains(&(from, to)),
+                "{cc:?} record {k}: illegal transition {from} -> {to} \
+                 (not an edge of the paper's Fig 3 graph)"
+            );
+        }
+        assert!(
+            labels.iter().skip(1).all(|&l| l != initial),
+            "{cc:?} record {k}: re-entered initial state {initial}"
+        );
+        traces += 1;
+    }
+    assert!(traces > 0, "{cc:?}: no traces collected");
+}
+
+/// All Cubic transitions across the scenario battery are edges of the
+/// legal graph, every trace starts in Init, and Init is never re-entered.
+#[test]
+fn cubic_traces_stay_inside_legal_graph() {
+    assert_trace_legal(
+        &records_for(CcKind::Cubic),
+        &cubic_legal(),
+        "Init",
+        CcKind::Cubic,
+    );
+}
+
+/// Same for BBR against its exact four-edge graph, starting in Startup.
+#[test]
+fn bbr_traces_stay_inside_legal_graph() {
+    assert_trace_legal(
+        &records_for(CcKind::Bbr),
+        &bbr_legal(),
+        "Startup",
+        CcKind::Bbr,
+    );
+}
+
+/// Recovery-family states require loss evidence in the same run's server
+/// counters: a trace visiting Recovery needs `losses_detected > 0`, an
+/// RTO visit needs `rto_count > 0`, a TLP visit needs `tlp_count > 0`.
+/// (Counters are per-connection aggregates, the finest evidence the
+/// record keeps — a visit with a zero counter would mean the state was
+/// entered with *no* loss signal anywhere in the connection's lifetime.)
+#[test]
+fn recovery_states_require_loss_evidence() {
+    for cc in [CcKind::Cubic, CcKind::Bbr] {
+        for (k, rec) in records_for(cc).iter().enumerate() {
+            let Some(trace) = &rec.server_trace else {
+                continue;
+            };
+            let stats = rec
+                .server_stats
+                .as_ref()
+                .unwrap_or_else(|| panic!("{cc:?} record {k} lost server stats"));
+            let labels = trace.labels();
+            let visited = |s: &str| labels.contains(&s);
+            if visited("Recovery") {
+                assert!(
+                    stats.losses_detected > 0,
+                    "{cc:?} record {k}: Recovery entered with zero losses detected"
+                );
+            }
+            if visited("RetransmissionTimeout") {
+                assert!(
+                    stats.rto_count > 0,
+                    "{cc:?} record {k}: RTO state entered but no timeout fired"
+                );
+            }
+            if visited("TailLossProbe") {
+                assert!(
+                    stats.tlp_count > 0,
+                    "{cc:?} record {k}: TLP state entered but no probe fired"
+                );
+            }
+        }
+    }
+}
+
+/// The loss machinery is actually exercised: at least one lossy-scenario
+/// Cubic trace must visit Recovery (otherwise the three invariants above
+/// would pass vacuously).
+#[test]
+fn battery_reaches_recovery_states() {
+    let records = records_for(CcKind::Cubic);
+    let visits = |state: &str| {
+        records
+            .iter()
+            .filter_map(|r| r.server_trace.as_ref())
+            .filter(|t| t.labels().contains(&state))
+            .count()
+    };
+    assert!(visits("Recovery") > 0, "no trace ever reached Recovery");
+    assert!(
+        visits("ApplicationLimited") > 0,
+        "no trace ever reached ApplicationLimited"
+    );
+}

@@ -210,6 +210,57 @@ fn plt_samples_serial_equals_threads4() {
     }
 }
 
+/// Chunked claiming changes nothing: `Serial`, `Threads(4)`, and
+/// `Threads(4)` with `LONGLOOK_CHUNK=7` produce field-for-field identical
+/// `RunRecord`s for both protocols in every scenario. Chunk size only
+/// regroups which worker claims which cells — reassembly is by cell
+/// index, so the env knob must be invisible in the results.
+#[test]
+fn chunked_mode_serial_equals_threads4() {
+    for (name, sc) in scenarios() {
+        for proto in [quic(), tcp()] {
+            let serial = run_records_par(&proto, &sc, Parallelism::Serial);
+            let par = run_records_par(&proto, &sc, Parallelism::Threads(4));
+            assert_eq!(serial, par, "{name} / {proto:?}: Threads(4) diverged");
+            // The env knob. Leaking chunk=7 to a concurrently running
+            // test is harmless by the very property under test (results
+            // are chunk-invariant), so no serialization lock is needed.
+            std::env::set_var("LONGLOOK_CHUNK", "7");
+            let chunked = run_records_par(&proto, &sc, Parallelism::Threads(4));
+            std::env::remove_var("LONGLOOK_CHUNK");
+            assert_eq!(
+                serial, chunked,
+                "{name} / {proto:?}: LONGLOOK_CHUNK=7 diverged"
+            );
+        }
+    }
+}
+
+/// The explicit chunk-size override sweeps a range of sizes (including
+/// chunks larger than the batch) without perturbing a single record, and
+/// the scheduler report accounts for every cell exactly once.
+#[test]
+fn explicit_chunk_sizes_are_record_invariant() {
+    let (name, sc) = scenarios().remove(1); // the lossy scenario
+    let proto = quic();
+    let n = sc.rounds as usize;
+    let (serial, _) = run_ordered_chunked(Parallelism::Serial, None, n, |k| {
+        run_page_load(&proto, &sc, k as u64)
+    });
+    for chunk in [1, 2, 3, 7, 64] {
+        let (par, report) = run_ordered_chunked(Parallelism::Threads(4), Some(chunk), n, |k| {
+            run_page_load(&proto, &sc, k as u64)
+        });
+        assert_eq!(serial, par, "{name}: chunk {chunk} diverged");
+        assert_eq!(report.chunk, chunk);
+        assert_eq!(
+            report.workers.iter().map(|w| w.cells).sum::<usize>(),
+            n,
+            "{name}: chunk {chunk} report lost cells"
+        );
+    }
+}
+
 /// Wall-clock sanity (release builds only): 4 workers complete a 5x5
 /// `sweep_heatmap` faster than a serial run. Skipped on machines with
 /// fewer than 2 hardware threads.

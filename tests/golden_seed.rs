@@ -1,0 +1,199 @@
+//! Golden seed-stability snapshot.
+//!
+//! Pins the full `RunRecord` summary (exact nanosecond PLTs, every
+//! connection counter, and the congestion-control visit sequence) of one
+//! small clean/lossy scenario pair, for both QUIC and TCP. Any silent
+//! behavior drift in `longlook-sim` or the transports — a changed RNG
+//! draw order, an off-by-one in loss detection, a reordered event tie —
+//! fails *this named test* instead of surfacing as a mysteriously shifted
+//! downstream statistic.
+//!
+//! The snapshot is plain text rendered by [`render_records`] (std-only,
+//! no serde). If a change is *intentional* (e.g. a transport fix), re-run
+//! with `LONGLOOK_BLESS=1 cargo test -p longlook-integration --test
+//! golden_seed -- --nocapture` and paste the printed block over the
+//! constant it names.
+
+use longlook_core::prelude::*;
+
+fn clean_scenario() -> Scenario {
+    Scenario::new(NetProfile::baseline(10.0), PageSpec::single(30 * 1024))
+        .with_rounds(2)
+        .with_seed(9001)
+}
+
+fn lossy_scenario() -> Scenario {
+    Scenario::new(
+        NetProfile::baseline(5.0).with_loss(0.02),
+        PageSpec::single(60 * 1024),
+    )
+    .with_rounds(2)
+    .with_seed(9002)
+}
+
+/// Deterministic full-fidelity text rendering of a record set: exact
+/// integers only, so equality is bit-for-bit.
+fn render_records(records: &[RunRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (k, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "round {k}: plt_ns={} ended_ns={}",
+            r.plt
+                .map_or_else(|| "none".into(), |d| d.as_nanos().to_string()),
+            r.ended_at.as_nanos(),
+        );
+        let c = &r.client_stats;
+        let _ = writeln!(
+            out,
+            "  client: sent={} recv={} bytes_out={} bytes_in={} acked={} rexmit={} \
+             spurious={} losses={} rto={} tlp={} acks={} max_cwnd={}",
+            c.packets_sent,
+            c.packets_received,
+            c.bytes_sent,
+            c.bytes_received,
+            c.bytes_acked,
+            c.retransmissions,
+            c.spurious_retransmissions,
+            c.losses_detected,
+            c.rto_count,
+            c.tlp_count,
+            c.acks_sent,
+            c.max_cwnd,
+        );
+        if let Some(s) = &r.server_stats {
+            let _ = writeln!(
+                out,
+                "  server: sent={} recv={} bytes_out={} bytes_in={} acked={} rexmit={} \
+                 spurious={} losses={} rto={} tlp={} acks={} max_cwnd={}",
+                s.packets_sent,
+                s.packets_received,
+                s.bytes_sent,
+                s.bytes_received,
+                s.bytes_acked,
+                s.retransmissions,
+                s.spurious_retransmissions,
+                s.losses_detected,
+                s.rto_count,
+                s.tlp_count,
+                s.acks_sent,
+                s.max_cwnd,
+            );
+        }
+        if let Some(t) = &r.server_trace {
+            let _ = writeln!(
+                out,
+                "  trace: {} span_ns={}",
+                t.labels().join(">"),
+                t.span.as_nanos()
+            );
+        }
+        let _ = writeln!(out, "  cwnd_points={}", r.server_cwnd.len());
+    }
+    out
+}
+
+fn check(name: &str, proto: &ProtoConfig, sc: &Scenario, golden: &str) {
+    let rendered = render_records(&run_records(proto, sc));
+    if std::env::var("LONGLOOK_BLESS").is_ok() {
+        eprintln!("=== {name} ===\n{rendered}");
+        return;
+    }
+    assert_eq!(
+        rendered.trim(),
+        golden.trim(),
+        "\n{name}: RunRecord summary drifted from the golden snapshot.\n\
+         If this change is intentional, bless a new snapshot:\n\
+         LONGLOOK_BLESS=1 cargo test -p longlook-integration --test golden_seed -- --nocapture\n\
+         --- actual ---\n{rendered}"
+    );
+}
+
+const GOLDEN_QUIC_CLEAN: &str = "\
+round 0: plt_ns=62780720 ended_ns=62780720
+  client: sent=13 recv=26 bytes_out=2323 bytes_in=0 acked=200 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=12 max_cwnd=43200
+  server: sent=26 recv=8 bytes_out=33150 bytes_in=0 acked=17316 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=1 max_cwnd=43200
+  trace: Init>SlowStart>ApplicationLimited>SlowStart>ApplicationLimited span_ns=45114911
+  cwnd_points=2
+round 1: plt_ns=63850566 ended_ns=63850566
+  client: sent=13 recv=26 bytes_out=2323 bytes_in=0 acked=200 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=12 max_cwnd=43200
+  server: sent=26 recv=7 bytes_out=33150 bytes_in=0 acked=14652 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=1 max_cwnd=43200
+  trace: Init>SlowStart>ApplicationLimited>SlowStart>ApplicationLimited span_ns=45649834
+  cwnd_points=2";
+
+const GOLDEN_QUIC_LOSSY: &str = "\
+round 0: plt_ns=119615267 ended_ns=119615267
+  client: sent=25 recv=49 bytes_out=3663 bytes_in=0 acked=200 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=24 max_cwnd=43200
+  server: sent=50 recv=20 bytes_out=67050 bytes_in=0 acked=49284 rexmit=1 spurious=0 losses=1 rto=0 tlp=0 acks=1 max_cwnd=52650
+  trace: Init>SlowStart>ApplicationLimited>SlowStart>ApplicationLimited>Recovery span_ns=101991408
+  cwnd_points=9
+round 1: plt_ns=119611897 ended_ns=119611897
+  client: sent=25 recv=49 bytes_out=3743 bytes_in=0 acked=200 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=24 max_cwnd=43200
+  server: sent=50 recv=20 bytes_out=67050 bytes_in=0 acked=49284 rexmit=1 spurious=0 losses=1 rto=0 tlp=0 acks=1 max_cwnd=51300
+  trace: Init>SlowStart>ApplicationLimited>SlowStart>ApplicationLimited>Recovery span_ns=101869697
+  cwnd_points=8";
+
+const GOLDEN_TCP_CLEAN: &str = "\
+round 0: plt_ns=141591472 ended_ns=141591472
+  client: sent=16 recv=28 bytes_out=1568 bytes_in=34093 acked=687 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=13 max_cwnd=14350
+  server: sent=28 recv=10 bytes_out=35622 bytes_in=687 acked=18664 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=0 max_cwnd=22800
+  trace: Init>SlowStart>ApplicationLimited>SlowStart>ApplicationLimited span_ns=123925663
+  cwnd_points=9
+round 1: plt_ns=145870856 ended_ns=145870856
+  client: sent=16 recv=28 bytes_out=1568 bytes_in=34093 acked=687 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=13 max_cwnd=14350
+  server: sent=28 recv=10 bytes_out=35622 bytes_in=687 acked=18664 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=0 max_cwnd=22800
+  trace: Init>SlowStart>ApplicationLimited>SlowStart>ApplicationLimited span_ns=127670124
+  cwnd_points=9";
+
+const GOLDEN_TCP_LOSSY: &str = "\
+round 0: plt_ns=190378890 ended_ns=190378890
+  client: sent=37 recv=49 bytes_out=2878 bytes_in=64813 acked=687 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=34 max_cwnd=14350
+  server: sent=50 recv=23 bytes_out=68930 bytes_in=687 acked=25664 rexmit=1 spurious=0 losses=1 rto=0 tlp=0 acks=0 max_cwnd=29800
+  trace: Init>SlowStart>ApplicationLimited>SlowStart>Recovery span_ns=172755031
+  cwnd_points=15
+round 1: plt_ns=213171400 ended_ns=213171400
+  client: sent=35 recv=49 bytes_out=2730 bytes_in=64813 acked=687 rexmit=0 spurious=0 losses=0 rto=0 tlp=0 acks=32 max_cwnd=14350
+  server: sent=50 recv=30 bytes_out=68930 bytes_in=687 acked=50864 rexmit=1 spurious=0 losses=1 rto=0 tlp=0 acks=0 max_cwnd=22800
+  trace: Init>SlowStart>ApplicationLimited>SlowStart>Recovery>CongestionAvoidance>ApplicationLimited span_ns=195429200
+  cwnd_points=15";
+
+#[test]
+fn quic_clean_matches_golden() {
+    check(
+        "GOLDEN_QUIC_CLEAN",
+        &ProtoConfig::Quic(QuicConfig::default()),
+        &clean_scenario(),
+        GOLDEN_QUIC_CLEAN,
+    );
+}
+
+#[test]
+fn quic_lossy_matches_golden() {
+    check(
+        "GOLDEN_QUIC_LOSSY",
+        &ProtoConfig::Quic(QuicConfig::default()),
+        &lossy_scenario(),
+        GOLDEN_QUIC_LOSSY,
+    );
+}
+
+#[test]
+fn tcp_clean_matches_golden() {
+    check(
+        "GOLDEN_TCP_CLEAN",
+        &ProtoConfig::Tcp(TcpConfig::default()),
+        &clean_scenario(),
+        GOLDEN_TCP_CLEAN,
+    );
+}
+
+#[test]
+fn tcp_lossy_matches_golden() {
+    check(
+        "GOLDEN_TCP_LOSSY",
+        &ProtoConfig::Tcp(TcpConfig::default()),
+        &lossy_scenario(),
+        GOLDEN_TCP_LOSSY,
+    );
+}
