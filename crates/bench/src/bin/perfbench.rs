@@ -1,0 +1,548 @@
+//! `perfbench` — std-only microbenchmark suite for the hot event-loop path.
+//!
+//! The crate registry is offline so criterion is unavailable; this binary
+//! implements the minimal harness the workspace needs: warmup + N timed
+//! iterations per benchmark, median/min reporting, and a machine-readable
+//! `BENCH_events.json` at the repo root for CI and cross-PR comparison.
+//!
+//! Benchmarks:
+//!
+//! * `sched_bulk_{wheel,heap}` — raw [`EventQueue`] push/pop throughput on
+//!   a synthetic hold-steady stream shaped like a bulk transfer (~300
+//!   outstanding events, mostly sub-ms deltas plus RTT-scale timers and a
+//!   tail of idle timeouts). The `sched_bulk_speedup` scalar is the
+//!   wheel/heap ratio CI gates on.
+//! * `bulk_{quic,tcp}_{wheel,heap}` — full simulated page loads through
+//!   [`Testbed::direct`], A/B'd via `LONGLOOK_SCHED`, reporting end-to-end
+//!   events/sec and the scheduler's high-water mark.
+//! * `encode_{pooled,alloc}` — QUIC packet encode ns/op with and without
+//!   [`PayloadPool`] buffer recycling.
+//! * `sweep_small` — a small serial heatmap sweep, the closest thing to a
+//!   whole-program wall-clock number.
+//!
+//! Usage: `perfbench [--iters N] [--warmup N] [--out PATH] [--check PATH]`.
+//! `--check` parses an existing JSON file and validates the schema instead
+//! of running benchmarks (used by the CI bench-smoke job).
+
+use longlook_bench::json::{self, Json};
+use longlook_core::prelude::*;
+use longlook_quic::{Frame, QuicPacket};
+use longlook_sim::rng::SimRng;
+use longlook_sim::time::Time;
+use longlook_sim::{EventQueue, PayloadPool, SchedKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SCHEMA: &str = "longlook-bench-events-v1";
+const SCHED_ENV: &str = "LONGLOOK_SCHED";
+
+/// Keys `--check` requires under `"benchmarks"`.
+const REQUIRED_BENCHES: [&str; 9] = [
+    "sched_bulk_wheel",
+    "sched_bulk_heap",
+    "bulk_quic_wheel",
+    "bulk_quic_heap",
+    "bulk_tcp_wheel",
+    "bulk_tcp_heap",
+    "encode_pooled",
+    "encode_alloc",
+    "sweep_small",
+];
+
+fn main() {
+    let cfg = match Config::from_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perfbench: {e}");
+            eprintln!("usage: perfbench [--iters N] [--warmup N] [--out PATH] [--check PATH]");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &cfg.check {
+        match check_file(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("perfbench --check {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!(
+        "perfbench: {} iters, {} warmup, writing {}",
+        cfg.iters, cfg.warmup, cfg.out
+    );
+
+    let mut out = Report::new(&cfg);
+
+    // --- Scheduler microbenchmark ------------------------------------
+    let wheel = bench_sched(&cfg, SchedKind::Wheel);
+    let heap = bench_sched(&cfg, SchedKind::Heap);
+    let speedup = wheel.median_mev_s() / heap.median_mev_s();
+    println!(
+        "sched_bulk: wheel {:.2} Mev/s, heap {:.2} Mev/s, speedup {:.2}x",
+        wheel.median_mev_s(),
+        heap.median_mev_s(),
+        speedup
+    );
+    out.push_events("sched_bulk_wheel", &wheel);
+    out.push_events("sched_bulk_heap", &heap);
+    out.push_scalar("sched_bulk_speedup", speedup);
+
+    // --- End-to-end cell benchmarks, A/B over LONGLOOK_SCHED ---------
+    let saved = std::env::var(SCHED_ENV).ok();
+    for (name, proto) in [
+        ("bulk_quic", ProtoConfig::Quic(QuicConfig::default())),
+        ("bulk_tcp", ProtoConfig::Tcp(TcpConfig::default())),
+    ] {
+        let mut cells = Vec::new();
+        for (suffix, kind) in [("wheel", "wheel"), ("heap", "heap")] {
+            std::env::set_var(SCHED_ENV, kind);
+            let cell = bench_bulk_cell(&cfg, &proto);
+            println!(
+                "{name}_{suffix}: {:.2} Mev/s ({} events, peak {} scheduled)",
+                cell.median_mev_s(),
+                cell.events,
+                cell.peak
+            );
+            out.push_cell(&format!("{name}_{suffix}"), &cell);
+            cells.push(cell);
+        }
+        // Determinism spot-check: the wheel must process exactly the same
+        // number of events as the heap on the same seed.
+        assert_eq!(
+            cells[0].events, cells[1].events,
+            "{name}: wheel and heap processed different event counts"
+        );
+    }
+    match saved {
+        Some(v) => std::env::set_var(SCHED_ENV, v),
+        None => std::env::remove_var(SCHED_ENV),
+    }
+
+    // --- Encode-path pooling benchmark -------------------------------
+    let pooled = bench_encode(&cfg, true);
+    let alloc = bench_encode(&cfg, false);
+    println!(
+        "encode: pooled {:.0} ns/op, alloc {:.0} ns/op",
+        pooled.median_ns_per_op(),
+        alloc.median_ns_per_op()
+    );
+    out.push_ns("encode_pooled", &pooled);
+    out.push_ns("encode_alloc", &alloc);
+
+    // --- Small sweep wall-clock --------------------------------------
+    let sweep = bench_sweep(&cfg);
+    println!(
+        "sweep_small: median {:.3}s, min {:.3}s",
+        sweep.median_s(),
+        sweep.min_s()
+    );
+    out.push_wall("sweep_small", &sweep);
+
+    let doc = out.finish();
+    if let Err(e) = std::fs::write(&cfg.out, &doc) {
+        eprintln!("perfbench: failed to write {}: {e}", cfg.out);
+        std::process::exit(1);
+    }
+    // Self-check: the document we just wrote must satisfy --check.
+    if let Err(e) = check_file(&cfg.out) {
+        eprintln!("perfbench: emitted file failed validation: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {}", cfg.out);
+}
+
+// ---------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------
+
+struct Config {
+    iters: usize,
+    warmup: usize,
+    out: String,
+    check: Option<String>,
+}
+
+impl Config {
+    fn from_args() -> Result<Config, String> {
+        let mut cfg = Config {
+            iters: 5,
+            warmup: 1,
+            out: "BENCH_events.json".to_string(),
+            check: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut want = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+            match a.as_str() {
+                "--iters" => {
+                    cfg.iters = want("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?;
+                }
+                "--warmup" => {
+                    cfg.warmup = want("--warmup")?
+                        .parse()
+                        .map_err(|e| format!("--warmup: {e}"))?;
+                }
+                "--out" => cfg.out = want("--out")?,
+                "--check" => cfg.check = Some(want("--check")?),
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if cfg.iters == 0 {
+            return Err("--iters must be at least 1".to_string());
+        }
+        Ok(cfg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Measurement harness
+// ---------------------------------------------------------------------
+
+/// Timing samples for one benchmark: per-iteration wall seconds plus the
+/// work unit counts needed to derive rates.
+struct Samples {
+    secs: Vec<f64>,
+    /// Events (or ops) performed per iteration; identical across iters.
+    events: u64,
+    /// Scheduler high-water mark (cell benchmarks only).
+    peak: u64,
+}
+
+impl Samples {
+    fn median_s(&self) -> f64 {
+        median(&self.secs)
+    }
+
+    fn min_s(&self) -> f64 {
+        self.secs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn median_mev_s(&self) -> f64 {
+        self.events as f64 / self.median_s() / 1e6
+    }
+
+    fn median_ns_per_op(&self) -> f64 {
+        self.median_s() * 1e9 / self.events as f64
+    }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Run `f` for `warmup` untimed then `iters` timed iterations. `f` returns
+/// (events, peak) for the iteration; both must be iteration-invariant.
+fn run_bench(cfg: &Config, mut f: impl FnMut() -> (u64, u64)) -> Samples {
+    for _ in 0..cfg.warmup {
+        std::hint::black_box(f());
+    }
+    let mut secs = Vec::with_capacity(cfg.iters);
+    let mut events = 0;
+    let mut peak = 0;
+    for _ in 0..cfg.iters {
+        let t0 = Instant::now();
+        let (e, p) = std::hint::black_box(f());
+        secs.push(t0.elapsed().as_secs_f64());
+        events = e;
+        peak = p;
+    }
+    Samples { secs, events, peak }
+}
+
+// ---------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------
+
+/// Pops per scheduler iteration. At heap speeds (~10M ops/s) this is well
+/// under a second per iteration.
+const SCHED_POPS: u64 = 1_000_000;
+/// Outstanding events held in the queue, matching the high-water mark of
+/// a bulk-transfer cell (in-flight packets + timers).
+const SCHED_OUTSTANDING: u64 = 300;
+
+/// Hold-steady push/pop throughput on a synthetic bulk-transfer stream.
+fn bench_sched(cfg: &Config, kind: SchedKind) -> Samples {
+    run_bench(cfg, || {
+        let mut rng = SimRng::new(0xBE7C4);
+        let mut q: EventQueue<u64> = EventQueue::new(kind);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        // Delta mixture: mostly serialization/pacing-scale deltas, a slice
+        // of RTT-scale retransmit timers, a thin tail of idle timeouts.
+        let delta = |rng: &mut SimRng| -> u64 {
+            if rng.chance(0.85) {
+                rng.uniform_u64(20_000, 1_200_000) // 20µs – 1.2ms
+            } else if rng.chance(0.87) {
+                rng.uniform_u64(30_000_000, 42_000_000) // ~36ms RTT timers
+            } else {
+                rng.uniform_u64(200_000_000, 1_000_000_000) // idle timeouts
+            }
+        };
+        for _ in 0..SCHED_OUTSTANDING {
+            let d = delta(&mut rng);
+            q.push(Time::from_nanos(now + d), id);
+            id += 1;
+        }
+        for _ in 0..SCHED_POPS {
+            let (t, _) = q.pop().expect("queue held steady");
+            now = t.as_nanos();
+            let d = delta(&mut rng);
+            q.push(Time::from_nanos(now + d), id);
+            id += 1;
+        }
+        (SCHED_POPS, q.scheduled_peak() as u64)
+    })
+}
+
+/// One bulk-transfer page load; scheduler kind comes from the environment
+/// (set by the caller before the `World` inside `Testbed` is built).
+fn bench_bulk_cell(cfg: &Config, proto: &ProtoConfig) -> Samples {
+    run_bench(cfg, || {
+        let net = NetProfile::baseline(20.0);
+        let page = PageSpec::single(8 * 1024 * 1024);
+        let mut tb = Testbed::direct(
+            4242,
+            &net,
+            DeviceProfile::DESKTOP,
+            page.clone(),
+            vec![FlowSpec {
+                proto: proto.clone(),
+                zero_rtt: false,
+                app: Box::new(WebClient::new(page)),
+            }],
+            None,
+            true,
+        );
+        tb.run(Dur::from_secs(120));
+        (tb.world.events_processed(), tb.world.scheduled_peak())
+    })
+}
+
+/// Encodes per encode-benchmark iteration.
+const ENCODE_OPS: u64 = 200_000;
+
+/// QUIC packet encode with (pooled) and without (alloc) buffer recycling.
+fn bench_encode(cfg: &Config, pooled: bool) -> Samples {
+    run_bench(cfg, || {
+        let mut pool = PayloadPool::new();
+        let mut sink = 0u64;
+        for pn in 0..ENCODE_OPS {
+            let pkt = QuicPacket {
+                conn_id: 7,
+                pn,
+                frames: vec![
+                    Frame::Stream {
+                        id: 3,
+                        offset: pn * 1200,
+                        len: 1200,
+                        fin: false,
+                    },
+                    Frame::Ack {
+                        largest: pn,
+                        ack_delay_us: 40,
+                        blocks: vec![(pn.saturating_sub(5), pn)],
+                    },
+                ],
+            };
+            let bytes = if pooled {
+                pkt.encode_with(&mut pool)
+            } else {
+                pkt.encode()
+            };
+            sink = sink.wrapping_add(bytes.len() as u64);
+            if pooled {
+                pool.reclaim(bytes);
+            }
+        }
+        std::hint::black_box(sink);
+        (ENCODE_OPS, 0)
+    })
+}
+
+/// A 2x2 serial heatmap sweep: rate x object size, 2 rounds per cell.
+fn bench_sweep(cfg: &Config) -> Samples {
+    run_bench(cfg, || {
+        let rates = [5.0, 20.0];
+        let sizes = [50 * 1024u64, 200 * 1024];
+        let rows: Vec<String> = rates.iter().map(|r| format!("{r}Mbps")).collect();
+        let cols: Vec<String> = sizes.iter().map(|s| format!("{}KB", s / 1024)).collect();
+        let map = sweep_heatmap_par(
+            "perfbench sweep_small",
+            &rows,
+            &cols,
+            &ProtoConfig::Quic(QuicConfig::default()),
+            &ProtoConfig::Tcp(TcpConfig::default()),
+            |r, c| {
+                Scenario::new(NetProfile::baseline(rates[r]), PageSpec::single(sizes[c]))
+                    .with_rounds(2)
+                    .with_seed(9_700 + r as u64 * 16 + c as u64)
+            },
+            Parallelism::Serial,
+        );
+        std::hint::black_box(map.render_ascii().len());
+        (4, 0)
+    })
+}
+
+// ---------------------------------------------------------------------
+// JSON emission & validation
+// ---------------------------------------------------------------------
+
+/// Hand-built JSON document; keys appear in insertion order.
+struct Report {
+    body: String,
+    first: bool,
+}
+
+impl Report {
+    fn new(cfg: &Config) -> Report {
+        let mut body = String::new();
+        let _ = write!(
+            body,
+            "{{\n  \"schema\": \"{}\",\n  \"iters\": {},\n  \"warmup\": {},\n  \"benchmarks\": {{",
+            json::escape(SCHEMA),
+            cfg.iters,
+            cfg.warmup
+        );
+        Report { body, first: true }
+    }
+
+    fn entry(&mut self, name: &str, value: &str) {
+        if !self.first {
+            self.body.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.body, "\n    \"{}\": {}", json::escape(name), value);
+    }
+
+    fn push_events(&mut self, name: &str, s: &Samples) {
+        self.entry(
+            name,
+            &format!(
+                "{{\"median_mev_s\": {}, \"median_s\": {}, \"min_s\": {}, \"events\": {}}}",
+                num(s.median_mev_s()),
+                num(s.median_s()),
+                num(s.min_s()),
+                s.events
+            ),
+        );
+    }
+
+    fn push_cell(&mut self, name: &str, s: &Samples) {
+        self.entry(
+            name,
+            &format!(
+                "{{\"median_mev_s\": {}, \"median_s\": {}, \"min_s\": {}, \"events\": {}, \"scheduled_peak\": {}}}",
+                num(s.median_mev_s()),
+                num(s.median_s()),
+                num(s.min_s()),
+                s.events,
+                s.peak
+            ),
+        );
+    }
+
+    fn push_ns(&mut self, name: &str, s: &Samples) {
+        self.entry(
+            name,
+            &format!(
+                "{{\"median_ns_per_op\": {}, \"median_s\": {}, \"min_s\": {}, \"ops\": {}}}",
+                num(s.median_ns_per_op()),
+                num(s.median_s()),
+                num(s.min_s()),
+                s.events
+            ),
+        );
+    }
+
+    fn push_wall(&mut self, name: &str, s: &Samples) {
+        self.entry(
+            name,
+            &format!(
+                "{{\"median_s\": {}, \"min_s\": {}}}",
+                num(s.median_s()),
+                num(s.min_s())
+            ),
+        );
+    }
+
+    fn push_scalar(&mut self, name: &str, v: f64) {
+        self.entry(name, &num(v));
+    }
+
+    fn finish(mut self) -> String {
+        self.body.push_str("\n  }\n}\n");
+        self.body
+    }
+}
+
+/// Format a float as a JSON number (finite guaranteed by construction;
+/// zero if a degenerate measurement slipped through).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Validate an emitted `BENCH_events.json`: schema tag, all benchmark
+/// keys present, every headline number finite and positive.
+fn check_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema tag is not \"{SCHEMA}\""));
+    }
+    for key in ["iters", "warmup"] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric \"{key}\""))?;
+        if v < 0.0 {
+            return Err(format!("\"{key}\" is negative"));
+        }
+    }
+    let benches = doc
+        .get("benchmarks")
+        .ok_or_else(|| "missing \"benchmarks\" object".to_string())?;
+    for name in REQUIRED_BENCHES {
+        let b = benches
+            .get(name)
+            .ok_or_else(|| format!("missing benchmark \"{name}\""))?;
+        // Every benchmark record carries at least median/min wall seconds.
+        for field in ["median_s", "min_s"] {
+            let v = b
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{name}: missing \"{field}\""))?;
+            if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(format!("{name}: \"{field}\" is not positive"));
+            }
+        }
+    }
+    let speedup = benches
+        .get("sched_bulk_speedup")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "missing \"sched_bulk_speedup\"".to_string())?;
+    if speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err("\"sched_bulk_speedup\" is not positive".to_string());
+    }
+    Ok(format!(
+        "{path}: valid ({} benchmarks, sched speedup {speedup:.2}x)",
+        REQUIRED_BENCHES.len()
+    ))
+}

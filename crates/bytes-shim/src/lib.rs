@@ -2,24 +2,45 @@
 //!
 //! The build environment has no reachable crate registry, so the workspace
 //! vendors the small slice of the `bytes` API it actually uses: cheaply
-//! cloneable immutable [`Bytes`] (an `Arc<[u8]>` window), an append-only
+//! cloneable immutable [`Bytes`] (an `Arc<Vec<u8>>` window), an append-only
 //! [`BytesMut`] builder, and the big-endian cursor traits [`Buf`] /
 //! [`BufMut`]. Semantics match the real crate for this subset (big-endian
 //! integer accessors, panics on underflow, `slice` by absolute range).
+//!
+//! Backing the shared buffer with `Arc<Vec<u8>>` (rather than `Arc<[u8]>`)
+//! keeps [`BytesMut::freeze`] zero-copy — the `Vec` moves into the `Arc`
+//! unchanged — and lets a sole owner recover the allocation via
+//! [`Bytes::try_into_vec`], which is what `longlook_sim::pool::PayloadPool`
+//! builds its recycle loop on.
 
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+fn empty_arc() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
 
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            data: empty_arc(),
+            start: 0,
+            end: 0,
+        }
+    }
+}
+
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer (shared backing; allocation-free).
     pub fn new() -> Self {
         Bytes::default()
     }
@@ -70,6 +91,18 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
+
+    /// Recover the backing allocation if this view is the sole owner.
+    ///
+    /// Succeeds only when no other `Bytes` clone (or slice) shares the
+    /// backing `Arc`; the returned `Vec` keeps its full capacity, making it
+    /// reusable as a write buffer. On failure the view is returned intact.
+    /// Note the window (`advance`/`slice` offsets) is discarded — callers
+    /// recycle the allocation, not the contents.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        Arc::try_unwrap(data).map_err(|data| Bytes { data, start, end })
+    }
 }
 
 impl Deref for Bytes {
@@ -87,10 +120,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -158,14 +190,36 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
+    /// Capacity of the underlying allocation.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Drop the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
     /// Append a slice.
     pub fn extend_from_slice(&mut self, data: &[u8]) {
         self.vec.extend_from_slice(data);
     }
 
-    /// Convert into an immutable [`Bytes`].
+    /// Convert into an immutable [`Bytes`]. Zero-copy: the backing `Vec`
+    /// moves into the shared allocation unchanged.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut { vec }
     }
 }
 
@@ -346,5 +400,42 @@ mod tests {
     fn advance_past_end_panics() {
         let mut b = Bytes::from(vec![1]);
         b.advance(2);
+    }
+
+    #[test]
+    fn try_into_vec_recovers_sole_allocation() {
+        let mut bm = BytesMut::with_capacity(64);
+        bm.put_u32(7);
+        let b = bm.freeze();
+        let v = b.try_into_vec().expect("sole owner");
+        assert_eq!(v.len(), 4);
+        assert!(v.capacity() >= 64, "capacity preserved through freeze");
+    }
+
+    #[test]
+    fn try_into_vec_fails_when_shared() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let clone = b.clone();
+        let back = b.try_into_vec().expect_err("shared owner");
+        assert_eq!(&back[..], &[1, 2, 3]);
+        drop(clone);
+        assert_eq!(back.try_into_vec().expect("now sole"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn advanced_view_still_reclaims_full_allocation() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        b.advance(2);
+        let v = b.try_into_vec().expect("sole owner");
+        assert_eq!(v, vec![1, 2, 3, 4], "window discarded, backing returned");
+    }
+
+    #[test]
+    fn bytes_mut_clear_keeps_capacity() {
+        let mut bm = BytesMut::from(Vec::with_capacity(128));
+        bm.put_u64(9);
+        bm.clear();
+        assert!(bm.is_empty());
+        assert!(bm.capacity() >= 128);
     }
 }

@@ -123,6 +123,7 @@ pub fn run_page_load(proto: &ProtoConfig, sc: &Scenario, round: u64) -> RunRecor
         true,
     );
     tb.run(sc.deadline);
+    crate::runner::note_cell_events(tb.world.events_processed());
     collect(&tb, sc)
 }
 
@@ -175,6 +176,7 @@ pub fn run_page_load_proxied(
         Box::new(WebClient::new(sc.page.clone())),
     );
     tb.run(sc.deadline);
+    crate::runner::note_cell_events(tb.world.events_processed());
     tb.client_host().app::<WebClient>(0).plt()
 }
 

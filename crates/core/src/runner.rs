@@ -30,10 +30,34 @@
 //! `std::sync::mpsc` only (the build environment has no crate registry).
 
 use longlook_sim::{CellGuard, CellId};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, Once};
 use std::thread;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Simulation-event counter for the cell currently executing on this
+    /// thread. The runner zeroes it before each cell and snapshots it
+    /// after; experiment drivers deposit via [`note_cell_events`].
+    static CELL_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credit `n` simulation events to the experiment cell currently running
+/// on this thread (no-op outside a runner batch). Drivers call this with
+/// `World::events_processed()` after each run so `repro --timing` can
+/// report events/sec.
+pub fn note_cell_events(n: u64) {
+    CELL_EVENTS.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+fn reset_cell_events() {
+    CELL_EVENTS.with(|c| c.set(0));
+}
+
+fn take_cell_events() -> u64 {
+    CELL_EVENTS.with(|c| c.replace(0))
+}
 
 /// How to execute a batch of independent experiment cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +176,9 @@ pub struct RunnerReport {
     pub elapsed: Duration,
     /// Per-cell wall-clock, indexed by cell.
     pub cell_wall: Vec<Duration>,
+    /// Per-cell simulation events (zero unless the cell's driver deposits
+    /// via [`note_cell_events`]), indexed by cell.
+    pub cell_events: Vec<u64>,
     /// Per-worker claim counters (one entry per worker thread).
     pub workers: Vec<WorkerStats>,
 }
@@ -171,6 +198,21 @@ impl RunnerReport {
         self.total_cell_time().as_secs_f64() / e
     }
 
+    /// Total simulation events across all cells (zero when no driver
+    /// deposited counts).
+    pub fn total_events(&self) -> u64 {
+        self.cell_events.iter().sum()
+    }
+
+    /// Aggregate events/sec against summed per-cell wall-clock (the
+    /// single-core scheduler throughput); `None` when no events were
+    /// deposited or no time elapsed.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let total = self.total_events();
+        let secs = self.total_cell_time().as_secs_f64();
+        (total > 0 && secs > 0.0).then(|| total as f64 / secs)
+    }
+
     /// One-paragraph human-readable rendering (the `repro --timing`
     /// output).
     pub fn render(&self) -> String {
@@ -186,6 +228,14 @@ impl RunnerReport {
             self.jobs,
             self.chunk,
         );
+        if let Some(eps) = self.events_per_sec() {
+            let _ = write!(
+                out,
+                ", {} events ({:.2} Mev/s)",
+                self.total_events(),
+                eps / 1e6
+            );
+        }
         if self.jobs > 1 {
             let claims: Vec<String> = self
                 .workers
@@ -203,7 +253,20 @@ impl RunnerReport {
             .iter()
             .take(3)
             .filter(|(_, d)| *d > Duration::ZERO)
-            .map(|(i, d)| format!("#{i} {:.0}ms", d.as_secs_f64() * 1e3))
+            .map(|(i, d)| {
+                // Per-cell events/sec, when the cell's driver deposited a
+                // count (sweep cells do; synthetic test cells don't).
+                let ev = self.cell_events.get(*i).copied().unwrap_or(0);
+                if ev > 0 && d.as_secs_f64() > 0.0 {
+                    format!(
+                        "#{i} {:.0}ms ({:.2} Mev/s)",
+                        d.as_secs_f64() * 1e3,
+                        ev as f64 / d.as_secs_f64() / 1e6
+                    )
+                } else {
+                    format!("#{i} {:.0}ms", d.as_secs_f64() * 1e3)
+                }
+            })
             .collect();
         if !slow.is_empty() {
             let _ = write!(out, ", slowest cells: {}", slow.join(", "));
@@ -241,6 +304,8 @@ struct ChunkMsg<T> {
     start: usize,
     values: Vec<T>,
     walls: Vec<Duration>,
+    /// Simulation events each cell deposited via [`note_cell_events`].
+    events: Vec<u64>,
     /// Panic payload of cell `start + values.len()`, if that cell blew up.
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
@@ -308,6 +373,7 @@ where
         chunk,
         elapsed: Duration::ZERO,
         cell_wall: vec![Duration::ZERO; n],
+        cell_events: vec![0; n],
         workers: vec![WorkerStats::default(); jobs],
     };
     let mut slots: Vec<Option<T>> = thread::scope(|scope| {
@@ -327,12 +393,14 @@ where
                 // message per chunk, not per cell.
                 let mut values = Vec::with_capacity(end - start);
                 let mut walls = Vec::with_capacity(end - start);
+                let mut events = Vec::with_capacity(end - start);
                 let mut panic = None;
                 for i in start..end {
                     let cell = CellId {
                         batch,
                         index: i as u64,
                     };
+                    reset_cell_events();
                     let t0 = Instant::now();
                     // Catch a cell's panic so its original payload reaches
                     // the caller (a bare scoped-thread panic would be
@@ -344,6 +412,7 @@ where
                     })) {
                         Ok(v) => {
                             walls.push(t0.elapsed());
+                            events.push(take_cell_events());
                             values.push(v);
                         }
                         Err(payload) => {
@@ -358,6 +427,7 @@ where
                     start,
                     values,
                     walls,
+                    events,
                     panic,
                 };
                 // A send error means the collector is gone; just stop.
@@ -375,9 +445,15 @@ where
             let stats = &mut report.workers[msg.worker];
             stats.chunks += 1;
             stats.cells += msg.values.len();
-            for (j, (value, wall)) in msg.values.into_iter().zip(msg.walls).enumerate() {
+            for (j, (value, (wall, events))) in msg
+                .values
+                .into_iter()
+                .zip(msg.walls.into_iter().zip(msg.events))
+                .enumerate()
+            {
                 slots[msg.start + j] = Some(value);
                 report.cell_wall[msg.start + j] = wall;
+                report.cell_events[msg.start + j] = events;
             }
             if let Some(payload) = msg.panic {
                 panic_payload.get_or_insert(payload);
@@ -414,6 +490,7 @@ where
         chunk: n.max(1),
         elapsed: Duration::ZERO,
         cell_wall: Vec::with_capacity(n),
+        cell_events: Vec::with_capacity(n),
         workers: vec![WorkerStats {
             cells: n,
             chunks: usize::from(n > 0),
@@ -425,11 +502,13 @@ where
                 batch,
                 index: i as u64,
             };
+            reset_cell_events();
             let t0 = Instant::now();
             let _guard = CellGuard::enter(cell);
             let v = f(i);
             drop(_guard);
             report.cell_wall.push(t0.elapsed());
+            report.cell_events.push(take_cell_events());
             v
         })
         .collect();
@@ -550,6 +629,32 @@ mod tests {
             }]
         );
         assert_eq!(rep.cell_wall.len(), 5);
+    }
+
+    #[test]
+    fn cell_events_flow_into_report_threaded_and_serial() {
+        let (_, rep) = run_ordered_reporting(Parallelism::Threads(2), 10, |i| {
+            note_cell_events(i as u64 + 1);
+            i
+        });
+        assert_eq!(rep.cell_events, (1..=10).collect::<Vec<u64>>());
+        assert_eq!(rep.total_events(), 55);
+        let (_, rep) = run_ordered_reporting(Parallelism::Serial, 3, |i| {
+            note_cell_events(7);
+            note_cell_events(2); // accumulates within a cell
+            i
+        });
+        assert_eq!(rep.cell_events, vec![9, 9, 9]);
+        let text = rep.render();
+        assert!(text.contains("events"), "{text}");
+    }
+
+    #[test]
+    fn cells_without_events_report_zero() {
+        let (_, rep) = run_ordered_reporting(Parallelism::Threads(3), 8, |i| i);
+        assert_eq!(rep.cell_events, vec![0; 8]);
+        assert_eq!(rep.events_per_sec(), None);
+        assert!(!rep.render().contains("Mev/s"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::streams::{Chunk, RecvStream, SendStream};
 use crate::wire::{Frame, HandshakeKind, QuicPacket, MAX_PACKET_PAYLOAD};
 use bytes::Bytes;
 use longlook_sim::time::{Dur, Time};
+use longlook_sim::PayloadPool;
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
 use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, UDP_OVERHEAD};
@@ -115,6 +116,9 @@ pub struct QuicConnection {
     stats: ConnStats,
     cwnd_log: Vec<(Time, u64)>,
     tracker: StateTracker,
+    /// Recycled payload buffers: encoders take from here, spent received
+    /// payloads are reclaimed in `on_datagram`.
+    pool: PayloadPool,
 }
 
 impl QuicConnection {
@@ -225,6 +229,7 @@ impl QuicConnection {
             stats: ConnStats::default(),
             cwnd_log: vec![(now, 0)],
             tracker: StateTracker::new(now, initial_label),
+            pool: PayloadPool::new(),
         }
     }
 
@@ -532,7 +537,7 @@ impl QuicConnection {
             self.rearm_loss_timer(now);
         }
         Transmit {
-            payload: pkt.encode(),
+            payload: pkt.encode_with(&mut self.pool),
             wire_size,
         }
     }
@@ -541,7 +546,12 @@ impl QuicConnection {
 impl Connection for QuicConnection {
     fn on_datagram(&mut self, payload: Bytes, now: Time) {
         self.stats.packets_received += 1;
-        let pkt = match QuicPacket::decode(payload) {
+        // Decode a cheap clone (an `Arc` bump) so the spent payload can be
+        // reclaimed into the buffer pool afterwards; the clone is consumed
+        // and dropped inside `decode`.
+        let decoded = QuicPacket::decode(payload.clone());
+        self.pool.reclaim(payload);
+        let pkt = match decoded {
             Ok(p) => p,
             Err(_) => return, // corrupt packets are dropped silently
         };

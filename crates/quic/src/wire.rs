@@ -299,7 +299,17 @@ impl QuicPacket {
     /// Encode to control bytes. Synthetic stream payload is *not*
     /// materialized; use [`QuicPacket::wire_size`] for link accounting.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(BytesMut::with_capacity(64))
+    }
+
+    /// Encode using a buffer recycled from `pool` (the hot path; see
+    /// [`longlook_sim::pool::PayloadPool`]). Wire bytes are identical to
+    /// [`QuicPacket::encode`].
+    pub fn encode_with(&self, pool: &mut longlook_sim::PayloadPool) -> Bytes {
+        self.encode_into(pool.take())
+    }
+
+    fn encode_into(&self, mut buf: BytesMut) -> Bytes {
         buf.put_u8(0x80); // flags: long-header-style marker
         buf.put_u64(self.conn_id);
         buf.put_u64(self.pn);

@@ -15,7 +15,9 @@
 pub mod device;
 pub mod link;
 pub mod packet;
+pub mod pool;
 pub mod rng;
+pub mod sched;
 pub mod schedule;
 pub mod time;
 pub mod world;
@@ -23,7 +25,9 @@ pub mod world;
 pub use device::{DeviceCpu, DeviceProfile};
 pub use link::{DropKind, Jitter, LinkConfig, LinkDir, LinkStats, ReorderSpec, Verdict};
 pub use packet::{FlowId, NodeId, Packet, PktClass};
+pub use pool::PayloadPool;
 pub use rng::{current_cell, CellGuard, CellId, IsolationTag, SimRng};
+pub use sched::{EventQueue, SchedKind};
 pub use schedule::RateSchedule;
 pub use time::{transmission_delay, Dur, Time};
 pub use world::{Agent, Ctx, RunOutcome, World};

@@ -121,6 +121,18 @@ impl LinkConfig {
         self.buffer_bytes = bytes;
         self
     }
+
+    /// Rough upper bound on packets simultaneously in flight through this
+    /// direction (drop-tail queue plus propagation), used by
+    /// [`crate::World`] to pre-size its event queue. A hint only — it
+    /// never affects link behavior.
+    pub fn inflight_hint(&self) -> usize {
+        // Queue occupancy is bounded by buffer_bytes; assume ~1200-byte
+        // packets (the workspace's typical full datagram). Ideal links
+        // report an unbounded buffer, so clamp to something modest.
+        let queued = (self.buffer_bytes / 1200).min(256) as usize;
+        queued + 16
+    }
 }
 
 /// Why a packet was dropped.

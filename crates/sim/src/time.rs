@@ -52,6 +52,12 @@ impl Time {
     pub fn checked_since(self, earlier: Time) -> Option<Dur> {
         self.0.checked_sub(earlier.0).map(Dur)
     }
+
+    /// Bucket index when quantizing the timeline into `1 << shift` ns
+    /// wide slots (used by the timing-wheel scheduler).
+    pub(crate) const fn tick(self, shift: u32) -> u64 {
+        self.0 >> shift
+    }
 }
 
 impl Dur {

@@ -9,10 +9,10 @@ use crate::device::{DeviceCpu, DeviceProfile};
 use crate::link::{LinkConfig, LinkDir, LinkStats, Verdict};
 use crate::packet::{NodeId, Packet};
 use crate::rng::{IsolationTag, SimRng};
+use crate::sched::{EventQueue, SchedKind};
 use crate::time::Time;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Interface the world hands an agent during a callback.
 pub struct Ctx<'a> {
@@ -75,30 +75,6 @@ enum Ev {
     Wake(NodeId),
 }
 
-/// Heap entry ordered by (time, sequence) for deterministic tie-breaking.
-struct Scheduled {
-    at: Time,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 struct NodeSlot {
     agent: Option<Box<dyn Agent>>,
     cpu: DeviceCpu,
@@ -110,13 +86,17 @@ struct NodeSlot {
 /// The simulated world.
 pub struct World {
     now: Time,
-    seq: u64,
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue<Ev>,
     nodes: Vec<NodeSlot>,
     links: HashMap<(NodeId, NodeId), LinkDir>,
     rng: SimRng,
     stop: bool,
     events_processed: u64,
+    /// Scratch outbox reused across agent callbacks (drained after each
+    /// dispatch; retains capacity instead of reallocating per event).
+    scratch_out: Vec<Packet>,
+    /// Scratch wake-request buffer, reused like `scratch_out`.
+    scratch_wakes: Vec<Time>,
     /// Debug-build cell-ownership tag (see [`crate::rng::IsolationTag`]):
     /// a `World` shared across experiment cells is caught even before any
     /// of its RNG streams draw.
@@ -124,17 +104,25 @@ pub struct World {
 }
 
 impl World {
-    /// Create a world with the given experiment seed.
+    /// Create a world with the given experiment seed. The scheduler backend
+    /// comes from `LONGLOOK_SCHED` (timing wheel unless set to `heap`).
     pub fn new(seed: u64) -> Self {
+        World::new_with_sched(seed, SchedKind::from_env())
+    }
+
+    /// Create a world with an explicit scheduler backend (used by the
+    /// heap/wheel differential tests and benches; behavior is identical).
+    pub fn new_with_sched(seed: u64, sched: SchedKind) -> Self {
         World {
             now: Time::ZERO,
-            seq: 0,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(sched),
             nodes: Vec::new(),
             links: HashMap::new(),
             rng: SimRng::new(seed),
             stop: false,
             events_processed: 0,
+            scratch_out: Vec::new(),
+            scratch_wakes: Vec::new(),
             tag: IsolationTag::default(),
         }
     }
@@ -147,12 +135,18 @@ impl World {
             cpu: DeviceCpu::new(profile),
             pending_wake: None,
         });
+        // Each node contributes at least a wake plus a handful of packets
+        // in a typical callback; keep the scratch buffers ahead of that.
+        self.scratch_out.reserve(16);
+        self.scratch_wakes.reserve(4);
         id
     }
 
     /// Connect `a -> b` with `cfg_ab` and `b -> a` with `cfg_ba`.
     /// Each direction gets an independent RNG stream.
     pub fn connect(&mut self, a: NodeId, b: NodeId, cfg_ab: LinkConfig, cfg_ba: LinkConfig) {
+        self.queue
+            .reserve_hint(cfg_ab.inflight_hint() + cfg_ba.inflight_hint());
         let rng_ab = self.rng.fork((a.0 as u64) << 32 | b.0 as u64);
         let rng_ba = self.rng.fork((b.0 as u64) << 32 | a.0 as u64);
         assert!(
@@ -196,6 +190,17 @@ impl World {
         self.events_processed
     }
 
+    /// High-water mark of simultaneously outstanding scheduled events.
+    /// Correlates throughput with queue depth in bench output.
+    pub fn scheduled_peak(&self) -> u64 {
+        self.queue.scheduled_peak() as u64
+    }
+
+    /// Which scheduler backend this world runs on.
+    pub fn sched_kind(&self) -> SchedKind {
+        self.queue.kind()
+    }
+
     /// Whether an agent requested a stop.
     pub fn stop_requested(&self) -> bool {
         self.stop
@@ -234,24 +239,19 @@ impl World {
     }
 
     fn push(&mut self, at: Time, ev: Ev) {
-        self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            at,
-            seq: self.seq,
-            ev,
-        }));
+        self.queue.push(at, ev);
     }
 
-    /// Process one event. Returns `false` when the heap is exhausted.
+    /// Process one event. Returns `false` when the queue is exhausted.
     pub fn step(&mut self) -> bool {
         self.tag.check("World");
-        let Some(Reverse(sched)) = self.heap.pop() else {
+        let Some((at, ev)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(sched.at >= self.now, "time went backwards");
-        self.now = sched.at;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         self.events_processed += 1;
-        match sched.ev {
+        match ev {
             Ev::LinkOut(pkt) => {
                 // Charge the destination's CPU, then deliver.
                 let done = self.nodes[pkt.dst.0 as usize]
@@ -277,16 +277,16 @@ impl World {
         true
     }
 
-    /// Run until an agent requests a stop, the heap empties, or `deadline`
+    /// Run until an agent requests a stop, the queue empties, or `deadline`
     /// passes. Returns the stop reason.
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
         loop {
             if self.stop {
                 return RunOutcome::Stopped;
             }
-            match self.heap.peek() {
+            match self.queue.next_at() {
                 None => return RunOutcome::Idle,
-                Some(Reverse(s)) if s.at > deadline => return RunOutcome::DeadlineReached,
+                Some(at) if at > deadline => return RunOutcome::DeadlineReached,
                 _ => {}
             }
             self.step();
@@ -307,8 +307,12 @@ impl World {
             .agent
             .take()
             .expect("reentrant dispatch");
-        let mut out = Vec::new();
-        let mut wakes = Vec::new();
+        // Reuse the world-owned scratch buffers across callbacks instead of
+        // allocating fresh vectors per event. Dispatch never reenters (the
+        // agent slot is taken), so `mem::take` hands out exclusive use.
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut wakes = std::mem::take(&mut self.scratch_wakes);
+        debug_assert!(out.is_empty() && wakes.is_empty());
         let mut stop = false;
         {
             let mut ctx = Ctx {
@@ -327,14 +331,16 @@ impl World {
         if stop {
             self.stop = true;
         }
-        for t in wakes {
+        for t in wakes.drain(..) {
             let at = if t < self.now { self.now } else { t };
             self.schedule_wake(node, at);
         }
-        for pkt in out {
+        for pkt in out.drain(..) {
             assert_eq!(pkt.src, node, "agent spoofed src");
             self.route(pkt);
         }
+        self.scratch_out = out;
+        self.scratch_wakes = wakes;
     }
 
     fn route(&mut self, pkt: Packet) {

@@ -4,6 +4,7 @@ use longlook_sim::link::{Jitter, LinkConfig, LinkDir, Verdict};
 use longlook_sim::schedule::RateSchedule;
 use longlook_sim::time::{transmission_delay, Dur, Time};
 use longlook_sim::SimRng;
+use longlook_sim::{EventQueue, SchedKind};
 use proptest::prelude::*;
 
 proptest! {
@@ -216,5 +217,71 @@ proptest! {
             }
         }
         prop_assert_eq!(link.stats().reordered, 0);
+    }
+}
+
+proptest! {
+    /// The timing wheel is a priority queue: popping everything yields
+    /// exactly the (at, seq)-sorted order, i.e. time-sorted with FIFO
+    /// tie-breaking on equal times — including deltas that span slot
+    /// boundaries, full wheel rotations, and the overflow heap.
+    #[test]
+    fn wheel_pop_order_is_sorted_by_time_then_arrival(
+        ats in proptest::collection::vec(0u64..3_000_000_000, 1..300),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new(SchedKind::Wheel);
+        for (i, &at) in ats.iter().enumerate() {
+            q.push(Time::from_nanos(at), i as u64);
+        }
+        let mut expect: Vec<(Time, u64)> = ats
+            .iter()
+            .enumerate()
+            .map(|(i, &at)| (Time::from_nanos(at), i as u64))
+            .collect();
+        expect.sort();
+        let mut got = Vec::with_capacity(expect.len());
+        while let Some(x) = q.pop() {
+            got.push(x);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Under arbitrary interleavings of pushes (with a monotone "now",
+    /// as the world's event loop guarantees) and pops, the wheel and the
+    /// heap produce identical pop sequences.
+    #[test]
+    fn wheel_matches_heap_under_interleaved_ops(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..500_000_000),
+            1..400,
+        ),
+    ) {
+        let mut wheel: EventQueue<u64> = EventQueue::new(SchedKind::Wheel);
+        let mut heap: EventQueue<u64> = EventQueue::new(SchedKind::Heap);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        for &(push, delta) in &ops {
+            if push {
+                let at = Time::from_nanos(now.saturating_add(delta));
+                wheel.push(at, id);
+                heap.push(at, id);
+                id += 1;
+            } else {
+                let a = wheel.pop();
+                prop_assert_eq!(a, heap.pop());
+                prop_assert_eq!(wheel.next_at(), heap.next_at());
+                if let Some((t, _)) = a {
+                    now = t.as_nanos();
+                }
+            }
+        }
+        loop {
+            let a = wheel.pop();
+            prop_assert_eq!(a, heap.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.scheduled_peak(), heap.scheduled_peak());
     }
 }

@@ -18,6 +18,7 @@ use crate::scoreboard::Scoreboard;
 use crate::wire::{flags, TcpSegment};
 use bytes::Bytes;
 use longlook_sim::time::{Dur, Time};
+use longlook_sim::PayloadPool;
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
 use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD};
@@ -133,6 +134,9 @@ pub struct TcpConnection {
     stats: ConnStats,
     cwnd_log: Vec<(Time, u64)>,
     tracker: StateTracker,
+    /// Recycled payload buffers: encoders take from here, spent received
+    /// payloads are reclaimed in `on_datagram`.
+    pool: PayloadPool,
 }
 
 impl TcpConnection {
@@ -188,6 +192,7 @@ impl TcpConnection {
             stats: ConnStats::default(),
             cwnd_log: vec![(now, 0)],
             tracker: StateTracker::new(now, CcState::Init.label()),
+            pool: PayloadPool::new(),
         }
     }
 
@@ -301,7 +306,7 @@ impl TcpConnection {
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += wire_size as u64;
         Transmit {
-            payload: seg.encode(),
+            payload: seg.encode_with(&mut self.pool),
             wire_size,
         }
     }
@@ -326,7 +331,7 @@ impl TcpConnection {
         }
         let _ = now;
         Transmit {
-            payload: seg.encode(),
+            payload: seg.encode_with(&mut self.pool),
             wire_size,
         }
     }
@@ -362,7 +367,12 @@ impl TcpConnection {
 impl Connection for TcpConnection {
     fn on_datagram(&mut self, payload: Bytes, now: Time) {
         self.stats.packets_received += 1;
-        let seg = match TcpSegment::decode(payload) {
+        // Decode a cheap clone (an `Arc` bump) so the spent payload can be
+        // reclaimed into the buffer pool afterwards; the clone is consumed
+        // and dropped inside `decode`.
+        let decoded = TcpSegment::decode(payload.clone());
+        self.pool.reclaim(payload);
+        let seg = match decoded {
             Ok(s) => s,
             Err(_) => return,
         };

@@ -74,7 +74,17 @@ impl TcpSegment {
 
     /// Encode control bytes (synthetic payload not materialized).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(BytesMut::with_capacity(64))
+    }
+
+    /// Encode using a buffer recycled from `pool` (the hot path; see
+    /// [`longlook_sim::pool::PayloadPool`]). Wire bytes are identical to
+    /// [`TcpSegment::encode`].
+    pub fn encode_with(&self, pool: &mut longlook_sim::PayloadPool) -> Bytes {
+        self.encode_into(pool.take())
+    }
+
+    fn encode_into(&self, mut buf: BytesMut) -> Bytes {
         buf.put_u64(self.seq);
         buf.put_u64(self.ack);
         buf.put_u8(self.flags);

@@ -1,0 +1,152 @@
+//! Scheduler differential referee: heap vs timing wheel.
+//!
+//! The timing wheel must be *observationally identical* to the binary
+//! heap it replaced — same pop order, so same RNG draw sequence, so
+//! bit-identical `RunRecord`s and event counts. The golden-seed snapshot
+//! pins the wheel's behavior against history; this suite pins the wheel
+//! against the heap directly, on scenarios with loss and reordering where
+//! any tie-break divergence would surface immediately.
+//!
+//! Everything runs inside ONE `#[test]` because the A/B switch is the
+//! `LONGLOOK_SCHED` environment variable, which is process-global: two
+//! tests flipping it concurrently in the same test binary would race.
+
+use longlook_core::prelude::*;
+
+/// Run `f` with `LONGLOOK_SCHED` set to `kind`, restoring the prior
+/// value afterwards.
+fn with_sched<T>(kind: &str, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("LONGLOOK_SCHED").ok();
+    std::env::set_var("LONGLOOK_SCHED", kind);
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("LONGLOOK_SCHED", v),
+        None => std::env::remove_var("LONGLOOK_SCHED"),
+    }
+    out
+}
+
+/// Compact deterministic rendering of a record set — exact integers only,
+/// so equality is bit-for-bit (same fields the golden snapshot pins).
+fn render(records: &[RunRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (k, r) in records.iter().enumerate() {
+        let c = &r.client_stats;
+        let _ = writeln!(
+            out,
+            "round {k}: plt_ns={} ended_ns={} c_sent={} c_recv={} c_rexmit={} c_acks={}",
+            r.plt
+                .map_or_else(|| "none".into(), |d| d.as_nanos().to_string()),
+            r.ended_at.as_nanos(),
+            c.packets_sent,
+            c.packets_received,
+            c.retransmissions,
+            c.acks_sent,
+        );
+        if let Some(s) = &r.server_stats {
+            let _ = writeln!(
+                out,
+                "  s_sent={} s_recv={} s_bytes_out={} s_rexmit={} s_losses={} s_rto={} s_max_cwnd={}",
+                s.packets_sent,
+                s.packets_received,
+                s.bytes_sent,
+                s.retransmissions,
+                s.losses_detected,
+                s.rto_count,
+                s.max_cwnd,
+            );
+        }
+        if let Some(t) = &r.server_trace {
+            let _ = writeln!(
+                out,
+                "  trace={} span_ns={}",
+                t.labels().join(">"),
+                t.span.as_nanos()
+            );
+        }
+        let _ = writeln!(out, "  cwnd_points={}", r.server_cwnd.len());
+    }
+    out
+}
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        (
+            "clean",
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(40 * 1024))
+                .with_rounds(2)
+                .with_seed(7101),
+        ),
+        (
+            "lossy",
+            Scenario::new(
+                NetProfile::baseline(5.0).with_loss(0.02),
+                PageSpec::single(80 * 1024),
+            )
+            .with_rounds(2)
+            .with_seed(7102),
+        ),
+        (
+            "jittered",
+            Scenario::new(
+                NetProfile::baseline(20.0).with_jitter(Dur::from_millis(4)),
+                PageSpec::uniform(5, 20 * 1024),
+            )
+            .with_rounds(2)
+            .with_seed(7103),
+        ),
+    ]
+}
+
+/// One bulk page load; returns (events_processed, scheduled_peak).
+fn bulk_cell(proto: &ProtoConfig) -> (u64, u64) {
+    let net = NetProfile::baseline(20.0);
+    let page = PageSpec::single(2 * 1024 * 1024);
+    let mut tb = Testbed::direct(
+        7777,
+        &net,
+        DeviceProfile::DESKTOP,
+        page.clone(),
+        vec![FlowSpec {
+            proto: proto.clone(),
+            zero_rtt: false,
+            app: Box::new(WebClient::new(page)),
+        }],
+        None,
+        true,
+    );
+    tb.run(Dur::from_secs(120));
+    (tb.world.events_processed(), tb.world.scheduled_peak())
+}
+
+#[test]
+fn wheel_and_heap_schedulers_are_observationally_identical() {
+    let protos = [
+        ("quic", ProtoConfig::Quic(QuicConfig::default())),
+        ("tcp", ProtoConfig::Tcp(TcpConfig::default())),
+    ];
+
+    // Full RunRecord equality over clean / lossy / jittered scenarios.
+    for (proto_name, proto) in &protos {
+        for (sc_name, sc) in scenarios() {
+            let wheel = with_sched("wheel", || render(&run_records(proto, &sc)));
+            let heap = with_sched("heap", || render(&run_records(proto, &sc)));
+            assert_eq!(
+                wheel, heap,
+                "{proto_name}/{sc_name}: RunRecords diverged between schedulers"
+            );
+        }
+    }
+
+    // Event-loop accounting equality on a bulk transfer: same number of
+    // events processed and the same scheduler high-water mark, since the
+    // push/pop sequences must be identical.
+    for (proto_name, proto) in &protos {
+        let (ev_w, peak_w) = with_sched("wheel", || bulk_cell(proto));
+        let (ev_h, peak_h) = with_sched("heap", || bulk_cell(proto));
+        assert_eq!(ev_w, ev_h, "{proto_name}: events_processed diverged");
+        assert_eq!(peak_w, peak_h, "{proto_name}: scheduled_peak diverged");
+        assert!(ev_w > 1_000, "{proto_name}: bulk cell suspiciously small");
+    }
+}
