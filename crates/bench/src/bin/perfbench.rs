@@ -13,12 +13,18 @@
 //!   tail of idle timeouts). The `sched_bulk_speedup` scalar is the
 //!   wheel/heap ratio CI gates on.
 //! * `bulk_{quic,tcp}_{wheel,heap}` — full simulated page loads through
-//!   [`Testbed::direct`], A/B'd via `LONGLOOK_SCHED`, reporting end-to-end
-//!   events/sec and the scheduler's high-water mark.
+//!   [`Testbed::direct`], A/B'd via `LONGLOOK_SCHED` with `LONGLOOK_WIRE`
+//!   pinned to `encoded`, reporting end-to-end events/sec and the
+//!   scheduler's high-water mark. These are the pooled-encode baseline.
+//! * `bulk_{quic,tcp}_structured` — the same cells on the structured
+//!   zero-serialization wire path (`LONGLOOK_WIRE=structured`, wheel
+//!   scheduler). The `wire_bulk_quic_speedup` scalar is the
+//!   structured/encoded ratio CI gates on (bar: [`WIRE_SPEEDUP_BAR`]).
 //! * `encode_{pooled,alloc}` — QUIC packet encode ns/op with and without
 //!   [`PayloadPool`] buffer recycling.
-//! * `sweep_small` — a small serial heatmap sweep, the closest thing to a
-//!   whole-program wall-clock number.
+//! * `sweep_small` / `sweep_small_structured` — a small serial heatmap
+//!   sweep per wire path, the closest thing to a whole-program wall-clock
+//!   number; `wire_sweep_speedup` is the encoded/structured wall ratio.
 //!
 //! Usage: `perfbench [--iters N] [--warmup N] [--out PATH] [--check PATH]`.
 //! `--check` parses an existing JSON file and validates the schema instead
@@ -33,20 +39,28 @@ use longlook_sim::{EventQueue, PayloadPool, SchedKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SCHEMA: &str = "longlook-bench-events-v1";
+const SCHEMA: &str = "longlook-bench-events-v2";
 const SCHED_ENV: &str = "LONGLOOK_SCHED";
+const WIRE_ENV: &str = "LONGLOOK_WIRE";
+
+/// Minimum accepted `wire_bulk_quic_speedup`: the structured wire path
+/// must beat the pooled-encode path by this factor on the bulk QUIC cell.
+const WIRE_SPEEDUP_BAR: f64 = 1.25;
 
 /// Keys `--check` requires under `"benchmarks"`.
-const REQUIRED_BENCHES: [&str; 9] = [
+const REQUIRED_BENCHES: [&str; 12] = [
     "sched_bulk_wheel",
     "sched_bulk_heap",
     "bulk_quic_wheel",
     "bulk_quic_heap",
     "bulk_tcp_wheel",
     "bulk_tcp_heap",
+    "bulk_quic_structured",
+    "bulk_tcp_structured",
     "encode_pooled",
     "encode_alloc",
     "sweep_small",
+    "sweep_small_structured",
 ];
 
 fn main() {
@@ -92,7 +106,12 @@ fn main() {
     out.push_scalar("sched_bulk_speedup", speedup);
 
     // --- End-to-end cell benchmarks, A/B over LONGLOOK_SCHED ---------
-    let saved = std::env::var(SCHED_ENV).ok();
+    // `LONGLOOK_WIRE` is pinned to `encoded` so these cells stay the
+    // pooled-encode baseline the structured fast path is measured against.
+    let saved_sched = std::env::var(SCHED_ENV).ok();
+    let saved_wire = std::env::var(WIRE_ENV).ok();
+    std::env::set_var(WIRE_ENV, "encoded");
+    let mut wheel_cells = Vec::new();
     for (name, proto) in [
         ("bulk_quic", ProtoConfig::Quic(QuicConfig::default())),
         ("bulk_tcp", ProtoConfig::Tcp(TcpConfig::default())),
@@ -116,8 +135,34 @@ fn main() {
             cells[0].events, cells[1].events,
             "{name}: wheel and heap processed different event counts"
         );
+        wheel_cells.push((name, proto, cells.swap_remove(0)));
     }
-    match saved {
+
+    // --- Structured wire fast path, A/B over LONGLOOK_WIRE -----------
+    // Same cells on the wheel scheduler with typed packets handed straight
+    // to the peer: no encode, no decode, analytic wire sizing.
+    std::env::set_var(SCHED_ENV, "wheel");
+    std::env::set_var(WIRE_ENV, "structured");
+    for (name, proto, encoded_cell) in &wheel_cells {
+        let cell = bench_bulk_cell(&cfg, proto);
+        let speedup = cell.median_mev_s() / encoded_cell.median_mev_s();
+        println!(
+            "{name}_structured: {:.2} Mev/s ({} events, peak {} scheduled), {:.2}x vs pooled-encode",
+            cell.median_mev_s(),
+            cell.events,
+            cell.peak,
+            speedup
+        );
+        // Determinism spot-check mirroring wire_differential: the wire
+        // path must not change what the simulation does, only how fast.
+        assert_eq!(
+            cell.events, encoded_cell.events,
+            "{name}: structured and encoded processed different event counts"
+        );
+        out.push_cell(&format!("{name}_structured"), &cell);
+        out.push_scalar(&format!("wire_{name}_speedup"), speedup);
+    }
+    match &saved_sched {
         Some(v) => std::env::set_var(SCHED_ENV, v),
         None => std::env::remove_var(SCHED_ENV),
     }
@@ -133,7 +178,8 @@ fn main() {
     out.push_ns("encode_pooled", &pooled);
     out.push_ns("encode_alloc", &alloc);
 
-    // --- Small sweep wall-clock --------------------------------------
+    // --- Small sweep wall-clock, one cell per wire path --------------
+    std::env::set_var(WIRE_ENV, "encoded");
     let sweep = bench_sweep(&cfg);
     println!(
         "sweep_small: median {:.3}s, min {:.3}s",
@@ -141,6 +187,22 @@ fn main() {
         sweep.min_s()
     );
     out.push_wall("sweep_small", &sweep);
+
+    std::env::set_var(WIRE_ENV, "structured");
+    let sweep_structured = bench_sweep(&cfg);
+    let sweep_speedup = sweep.median_s() / sweep_structured.median_s();
+    println!(
+        "sweep_small_structured: median {:.3}s, min {:.3}s, {:.2}x vs pooled-encode",
+        sweep_structured.median_s(),
+        sweep_structured.min_s(),
+        sweep_speedup
+    );
+    out.push_wall("sweep_small_structured", &sweep_structured);
+    out.push_scalar("wire_sweep_speedup", sweep_speedup);
+    match &saved_wire {
+        Some(v) => std::env::set_var(WIRE_ENV, v),
+        None => std::env::remove_var(WIRE_ENV),
+    }
 
     let doc = out.finish();
     if let Err(e) = std::fs::write(&cfg.out, &doc) {
@@ -541,8 +603,32 @@ fn check_file(path: &str) -> Result<String, String> {
     if speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err("\"sched_bulk_speedup\" is not positive".to_string());
     }
+    for name in [
+        "wire_bulk_quic_speedup",
+        "wire_bulk_tcp_speedup",
+        "wire_sweep_speedup",
+    ] {
+        let v = benches
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing \"{name}\""))?;
+        if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(format!("\"{name}\" is not positive"));
+        }
+    }
+    // The structured fast path is the whole point of the wire refactor:
+    // regressing below the bar on the bulk QUIC cell fails the check.
+    let wire_speedup = benches
+        .get("wire_bulk_quic_speedup")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if wire_speedup < WIRE_SPEEDUP_BAR {
+        return Err(format!(
+            "\"wire_bulk_quic_speedup\" {wire_speedup:.3} is below the {WIRE_SPEEDUP_BAR}x bar"
+        ));
+    }
     Ok(format!(
-        "{path}: valid ({} benchmarks, sched speedup {speedup:.2}x)",
+        "{path}: valid ({} benchmarks, sched speedup {speedup:.2}x, wire speedup {wire_speedup:.2}x)",
         REQUIRED_BENCHES.len()
     ))
 }

@@ -339,7 +339,7 @@ mod tests {
     }
 
     impl Connection for FakeConn {
-        fn on_datagram(&mut self, _p: bytes::Bytes, _now: Time) {}
+        fn on_datagram(&mut self, _p: longlook_sim::packet::Payload, _now: Time) {}
         fn poll_transmit(&mut self, _now: Time) -> Option<Transmit> {
             None
         }

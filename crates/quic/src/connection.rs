@@ -10,10 +10,10 @@ use crate::config::{CcKind, QuicConfig};
 use crate::recv_ack::AckTracker;
 use crate::sent::{SentPacket, SentTracker};
 use crate::streams::{Chunk, RecvStream, SendStream};
-use crate::wire::{Frame, HandshakeKind, QuicPacket, MAX_PACKET_PAYLOAD};
-use bytes::Bytes;
+use crate::wire::{Frame, HandshakeKind, QuicPacket, MAX_ACK_BLOCKS, MAX_PACKET_PAYLOAD};
+use longlook_sim::packet::Payload;
 use longlook_sim::time::{Dur, Time};
-use longlook_sim::PayloadPool;
+use longlook_sim::{PayloadPool, WireMode};
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
 use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, UDP_OVERHEAD};
@@ -116,9 +116,12 @@ pub struct QuicConnection {
     stats: ConnStats,
     cwnd_log: Vec<(Time, u64)>,
     tracker: StateTracker,
-    /// Recycled payload buffers: encoders take from here, spent received
-    /// payloads are reclaimed in `on_datagram`.
+    /// Recycled payload buffers (encoded path only): encoders take from
+    /// here, spent received payloads are reclaimed in `on_datagram`.
     pool: PayloadPool,
+    /// Structured (typed packets in memory) vs encoded (serialize +
+    /// reparse) wire path; resolved from `LONGLOOK_WIRE` at construction.
+    wire_mode: WireMode,
 }
 
 impl QuicConnection {
@@ -230,6 +233,7 @@ impl QuicConnection {
             cwnd_log: vec![(now, 0)],
             tracker: StateTracker::new(now, initial_label),
             pool: PayloadPool::new(),
+            wire_mode: WireMode::from_env(),
         }
     }
 
@@ -536,24 +540,34 @@ impl QuicConnection {
             self.pacer.on_sent(now, wire_size as u64, rate);
             self.rearm_loss_timer(now);
         }
-        Transmit {
-            payload: pkt.encode_with(&mut self.pool),
-            wire_size,
-        }
+        let payload = match self.wire_mode {
+            WireMode::Structured => Payload::Quic(pkt),
+            WireMode::Encoded => Payload::Wire(pkt.encode_with(&mut self.pool)),
+        };
+        Transmit { payload, wire_size }
     }
 }
 
 impl Connection for QuicConnection {
-    fn on_datagram(&mut self, payload: Bytes, now: Time) {
+    fn on_datagram(&mut self, payload: Payload, now: Time) {
         self.stats.packets_received += 1;
-        // Decode a cheap clone (an `Arc` bump) so the spent payload can be
-        // reclaimed into the buffer pool afterwards; the clone is consumed
-        // and dropped inside `decode`.
-        let decoded = QuicPacket::decode(payload.clone());
-        self.pool.reclaim(payload);
-        let pkt = match decoded {
-            Ok(p) => p,
-            Err(_) => return, // corrupt packets are dropped silently
+        let pkt = match payload {
+            // Structured fast path: the typed packet arrives by value.
+            Payload::Quic(p) => p,
+            Payload::Wire(bytes) => {
+                // Decode borrows the payload so the spent buffer can be
+                // reclaimed into the pool afterwards (sole-owner fast
+                // path — no refcount bump, no clone).
+                let decoded = QuicPacket::decode(&bytes[..]);
+                self.pool.reclaim(bytes);
+                match decoded {
+                    Ok(p) => p,
+                    Err(_) => return, // corrupt packets are dropped silently
+                }
+            }
+            // Flow demux never routes a TCP segment here; treat one like
+            // an undecodable datagram.
+            Payload::Tcp(_) => return,
         };
         let retransmittable = pkt.frames.iter().any(|f| {
             matches!(
@@ -624,7 +638,11 @@ impl Connection for QuicConnection {
 
         // 2. Ack if due.
         if self.acks.ack_due(now, self.cfg.ack_every) {
-            if let Some((largest, delay, blocks)) = self.acks.build_ack(now) {
+            if let Some((largest, delay, mut blocks)) = self.acks.build_ack(now) {
+                // Canonicalize to the wire's block cap at build time so a
+                // structured packet carries exactly what an encode→decode
+                // round trip would deliver.
+                blocks.truncate(MAX_ACK_BLOCKS);
                 let f = Frame::Ack {
                     largest,
                     ack_delay_us: (delay.as_nanos() / 1000),

@@ -18,7 +18,7 @@ pub mod wire;
 
 pub use config::{CcKind, QuicConfig};
 pub use connection::{QuicConnection, Role};
-pub use wire::{Frame, HandshakeKind, QuicPacket, WireError, MAX_PACKET_PAYLOAD};
+pub use wire::{Frame, HandshakeKind, QuicPacket, WireError, MAX_ACK_BLOCKS, MAX_PACKET_PAYLOAD};
 
 #[cfg(test)]
 mod loopback_tests {
@@ -27,6 +27,7 @@ mod loopback_tests {
     //! these tests isolate the connection state machine itself.
 
     use crate::{QuicConfig, QuicConnection};
+    use longlook_sim::packet::Payload;
     use longlook_sim::time::{Dur, Time};
     use longlook_transport::conn::{AppEvent, Connection, StreamId};
     use std::collections::VecDeque;
@@ -35,8 +36,8 @@ mod loopback_tests {
 
     struct Pipe {
         /// (deliver_at, payload) toward the peer.
-        a_to_b: VecDeque<(Time, bytes::Bytes)>,
-        b_to_a: VecDeque<(Time, bytes::Bytes)>,
+        a_to_b: VecDeque<(Time, Payload)>,
+        b_to_a: VecDeque<(Time, Payload)>,
         /// Drop the nth a->b packet (0-based counters).
         drop_a_to_b: Vec<u64>,
         sent_ab: u64,

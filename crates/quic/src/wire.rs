@@ -1,517 +1,11 @@
-//! gQUIC-like wire format: packet header and frames.
+//! gQUIC-like wire format — re-exported from `longlook-wire`.
 //!
-//! The format follows the shape of the 2016-era gQUIC wire layout the
-//! paper studied (connection id + monotonic packet number header, then a
-//! sequence of frames), simplified where crypto would be: handshake frames
-//! carry a kind tag and a synthetic padding length instead of real crypto
-//! handshake messages.
-//!
-//! Bulk stream data is *synthetic*: a [`Frame::Stream`] encodes its
-//! metadata (id, offset, length, fin) but not `length` literal bytes — the
-//! simulation charges the link for them via the packet's wire size. This
-//! keeps a 210 MB experiment from materializing 210 MB while the encoded
-//! control structure stays real and round-trippable.
+//! The packet/frame types moved down into the `longlook-wire` base crate
+//! so the simulator's `Payload` enum can carry a typed [`QuicPacket`] by
+//! value (the structured fast path). This module keeps the historical
+//! `longlook_quic::wire::*` paths working.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
-/// Fixed public header size: 1 flags byte + 8 connection id + 8 packet
-/// number.
-pub const HEADER_SIZE: u32 = 17;
-
-/// Maximum QUIC packet payload budget (frames + synthetic data), chosen so
-/// header + payload + UDP/IP framing lands near a 1400-byte wire packet.
-pub const MAX_PACKET_PAYLOAD: u32 = 1350;
-
-/// Handshake message kinds (crypto stream stand-ins).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HandshakeKind {
-    /// Client hello without server config (first contact).
-    InchoateChlo,
-    /// Server reject carrying the server config (enables future 0-RTT).
-    Rej,
-    /// Complete client hello (enables sending encrypted data now).
-    FullChlo,
-    /// Server hello completing the handshake.
-    Shlo,
-}
-
-impl HandshakeKind {
-    fn code(self) -> u8 {
-        match self {
-            HandshakeKind::InchoateChlo => 1,
-            HandshakeKind::Rej => 2,
-            HandshakeKind::FullChlo => 3,
-            HandshakeKind::Shlo => 4,
-        }
-    }
-
-    fn from_code(c: u8) -> Option<Self> {
-        Some(match c {
-            1 => HandshakeKind::InchoateChlo,
-            2 => HandshakeKind::Rej,
-            3 => HandshakeKind::FullChlo,
-            4 => HandshakeKind::Shlo,
-            _ => return None,
-        })
-    }
-}
-
-/// An acked packet-number range, inclusive: `[start, end]`.
-pub type AckBlock = (u64, u64);
-
-/// QUIC frames.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Frame {
-    /// Stream data (synthetic payload of `len` bytes).
-    Stream {
-        /// Stream id.
-        id: u32,
-        /// Byte offset of this chunk.
-        offset: u64,
-        /// Chunk length (bytes charged on the wire, not carried).
-        len: u32,
-        /// Whether this chunk ends the stream.
-        fin: bool,
-    },
-    /// Acknowledgement.
-    Ack {
-        /// Largest packet number acked.
-        largest: u64,
-        /// Microseconds between receiving `largest` and sending this ack.
-        ack_delay_us: u64,
-        /// Acked ranges, descending, inclusive. Must cover `largest`.
-        blocks: Vec<AckBlock>,
-    },
-    /// Flow-control credit. `stream 0` = connection level.
-    WindowUpdate {
-        /// Stream id (0 = connection).
-        stream: u32,
-        /// New maximum absolute byte offset the peer may send.
-        max_offset: u64,
-    },
-    /// Handshake message with synthetic padding.
-    Handshake {
-        /// Message kind.
-        kind: HandshakeKind,
-        /// Synthetic message + padding size in bytes.
-        pad: u16,
-    },
-    /// Keep-alive / probe.
-    Ping,
-    /// Flow-control blocked notification (diagnostics).
-    Blocked {
-        /// Blocked stream (0 = connection).
-        stream: u32,
-    },
-    /// Connection close.
-    Close {
-        /// Application error code.
-        code: u32,
-    },
-}
-
-impl Frame {
-    /// Bytes this frame occupies on the wire, *including* synthetic
-    /// stream payload bytes.
-    pub fn wire_size(&self) -> u32 {
-        match self {
-            Frame::Stream { len, .. } => 1 + 4 + 8 + 4 + 1 + len,
-            Frame::Ack { blocks, .. } => 1 + 8 + 8 + 1 + blocks.len() as u32 * 16,
-            Frame::WindowUpdate { .. } => 1 + 4 + 8,
-            Frame::Handshake { pad, .. } => 1 + 1 + 2 + *pad as u32,
-            Frame::Ping => 1,
-            Frame::Blocked { .. } => 1 + 4,
-            Frame::Close { .. } => 1 + 4,
-        }
-    }
-
-    fn encode(&self, buf: &mut BytesMut) {
-        match self {
-            Frame::Stream {
-                id,
-                offset,
-                len,
-                fin,
-            } => {
-                buf.put_u8(0x01);
-                buf.put_u32(*id);
-                buf.put_u64(*offset);
-                buf.put_u32(*len);
-                buf.put_u8(u8::from(*fin));
-            }
-            Frame::Ack {
-                largest,
-                ack_delay_us,
-                blocks,
-            } => {
-                buf.put_u8(0x02);
-                buf.put_u64(*largest);
-                buf.put_u64(*ack_delay_us);
-                buf.put_u8(blocks.len().min(255) as u8);
-                for &(start, end) in blocks.iter().take(255) {
-                    buf.put_u64(start);
-                    buf.put_u64(end);
-                }
-            }
-            Frame::WindowUpdate { stream, max_offset } => {
-                buf.put_u8(0x03);
-                buf.put_u32(*stream);
-                buf.put_u64(*max_offset);
-            }
-            Frame::Handshake { kind, pad } => {
-                buf.put_u8(0x04);
-                buf.put_u8(kind.code());
-                buf.put_u16(*pad);
-            }
-            Frame::Ping => buf.put_u8(0x05),
-            Frame::Blocked { stream } => {
-                buf.put_u8(0x06);
-                buf.put_u32(*stream);
-            }
-            Frame::Close { code } => {
-                buf.put_u8(0x07);
-                buf.put_u32(*code);
-            }
-        }
-    }
-
-    fn decode(buf: &mut impl Buf) -> Result<Frame, WireError> {
-        if !buf.has_remaining() {
-            return Err(WireError::Truncated);
-        }
-        let tag = buf.get_u8();
-        match tag {
-            0x01 => {
-                if buf.remaining() < 17 {
-                    return Err(WireError::Truncated);
-                }
-                let id = buf.get_u32();
-                let offset = buf.get_u64();
-                let len = buf.get_u32();
-                let fin = buf.get_u8() != 0;
-                Ok(Frame::Stream {
-                    id,
-                    offset,
-                    len,
-                    fin,
-                })
-            }
-            0x02 => {
-                if buf.remaining() < 17 {
-                    return Err(WireError::Truncated);
-                }
-                let largest = buf.get_u64();
-                let ack_delay_us = buf.get_u64();
-                let n = buf.get_u8() as usize;
-                if buf.remaining() < n * 16 {
-                    return Err(WireError::Truncated);
-                }
-                let mut blocks = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let start = buf.get_u64();
-                    let end = buf.get_u64();
-                    if start > end {
-                        return Err(WireError::Malformed("ack block start > end"));
-                    }
-                    blocks.push((start, end));
-                }
-                Ok(Frame::Ack {
-                    largest,
-                    ack_delay_us,
-                    blocks,
-                })
-            }
-            0x03 => {
-                if buf.remaining() < 12 {
-                    return Err(WireError::Truncated);
-                }
-                Ok(Frame::WindowUpdate {
-                    stream: buf.get_u32(),
-                    max_offset: buf.get_u64(),
-                })
-            }
-            0x04 => {
-                if buf.remaining() < 3 {
-                    return Err(WireError::Truncated);
-                }
-                let kind = HandshakeKind::from_code(buf.get_u8())
-                    .ok_or(WireError::Malformed("handshake kind"))?;
-                let pad = buf.get_u16();
-                Ok(Frame::Handshake { kind, pad })
-            }
-            0x05 => Ok(Frame::Ping),
-            0x06 => {
-                if buf.remaining() < 4 {
-                    return Err(WireError::Truncated);
-                }
-                Ok(Frame::Blocked {
-                    stream: buf.get_u32(),
-                })
-            }
-            0x07 => {
-                if buf.remaining() < 4 {
-                    return Err(WireError::Truncated);
-                }
-                Ok(Frame::Close {
-                    code: buf.get_u32(),
-                })
-            }
-            _ => Err(WireError::UnknownFrame(tag)),
-        }
-    }
-}
-
-/// A decoded QUIC packet.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QuicPacket {
-    /// Connection id.
-    pub conn_id: u64,
-    /// Monotonic packet number (never reused — the no-ambiguity property).
-    pub pn: u64,
-    /// Frames in order.
-    pub frames: Vec<Frame>,
-}
-
-/// Wire decoding errors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WireError {
-    /// Ran out of bytes mid-structure.
-    Truncated,
-    /// Unknown frame tag.
-    UnknownFrame(u8),
-    /// Structurally invalid field.
-    Malformed(&'static str),
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::Truncated => write!(f, "truncated packet"),
-            WireError::UnknownFrame(t) => write!(f, "unknown frame tag {t:#x}"),
-            WireError::Malformed(what) => write!(f, "malformed {what}"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
-
-impl QuicPacket {
-    /// Encode to control bytes. Synthetic stream payload is *not*
-    /// materialized; use [`QuicPacket::wire_size`] for link accounting.
-    pub fn encode(&self) -> Bytes {
-        self.encode_into(BytesMut::with_capacity(64))
-    }
-
-    /// Encode using a buffer recycled from `pool` (the hot path; see
-    /// [`longlook_sim::pool::PayloadPool`]). Wire bytes are identical to
-    /// [`QuicPacket::encode`].
-    pub fn encode_with(&self, pool: &mut longlook_sim::PayloadPool) -> Bytes {
-        self.encode_into(pool.take())
-    }
-
-    fn encode_into(&self, mut buf: BytesMut) -> Bytes {
-        buf.put_u8(0x80); // flags: long-header-style marker
-        buf.put_u64(self.conn_id);
-        buf.put_u64(self.pn);
-        for f in &self.frames {
-            f.encode(&mut buf);
-        }
-        buf.freeze()
-    }
-
-    /// Decode from control bytes.
-    pub fn decode(mut bytes: Bytes) -> Result<QuicPacket, WireError> {
-        if bytes.remaining() < HEADER_SIZE as usize {
-            return Err(WireError::Truncated);
-        }
-        let flags = bytes.get_u8();
-        if flags != 0x80 {
-            return Err(WireError::Malformed("flags"));
-        }
-        let conn_id = bytes.get_u64();
-        let pn = bytes.get_u64();
-        let mut frames = Vec::new();
-        while bytes.has_remaining() {
-            frames.push(Frame::decode(&mut bytes)?);
-        }
-        Ok(QuicPacket {
-            conn_id,
-            pn,
-            frames,
-        })
-    }
-
-    /// Total bytes on the wire excluding UDP/IP framing: header + frames
-    /// (+ synthetic payload).
-    pub fn wire_size(&self) -> u32 {
-        HEADER_SIZE + self.frames.iter().map(Frame::wire_size).sum::<u32>()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn roundtrip(p: &QuicPacket) -> QuicPacket {
-        QuicPacket::decode(p.encode()).expect("roundtrip")
-    }
-
-    #[test]
-    fn stream_frame_roundtrip() {
-        let p = QuicPacket {
-            conn_id: 0xDEADBEEF,
-            pn: 42,
-            frames: vec![Frame::Stream {
-                id: 3,
-                offset: 1_000_000,
-                len: 1300,
-                fin: true,
-            }],
-        };
-        assert_eq!(roundtrip(&p), p);
-    }
-
-    #[test]
-    fn ack_frame_roundtrip_with_blocks() {
-        let p = QuicPacket {
-            conn_id: 7,
-            pn: 100,
-            frames: vec![Frame::Ack {
-                largest: 99,
-                ack_delay_us: 1250,
-                blocks: vec![(90, 99), (50, 80), (1, 10)],
-            }],
-        };
-        assert_eq!(roundtrip(&p), p);
-    }
-
-    #[test]
-    fn multi_frame_packet_roundtrip() {
-        let p = QuicPacket {
-            conn_id: 1,
-            pn: 7,
-            frames: vec![
-                Frame::Ack {
-                    largest: 3,
-                    ack_delay_us: 0,
-                    blocks: vec![(0, 3)],
-                },
-                Frame::WindowUpdate {
-                    stream: 0,
-                    max_offset: 1 << 24,
-                },
-                Frame::Stream {
-                    id: 5,
-                    offset: 0,
-                    len: 900,
-                    fin: false,
-                },
-                Frame::Ping,
-                Frame::Blocked { stream: 5 },
-                Frame::Close { code: 0 },
-            ],
-        };
-        assert_eq!(roundtrip(&p), p);
-    }
-
-    #[test]
-    fn handshake_kinds_roundtrip() {
-        for kind in [
-            HandshakeKind::InchoateChlo,
-            HandshakeKind::Rej,
-            HandshakeKind::FullChlo,
-            HandshakeKind::Shlo,
-        ] {
-            let p = QuicPacket {
-                conn_id: 9,
-                pn: 1,
-                frames: vec![Frame::Handshake { kind, pad: 1200 }],
-            };
-            assert_eq!(roundtrip(&p), p);
-        }
-    }
-
-    #[test]
-    fn wire_size_counts_synthetic_payload() {
-        let f = Frame::Stream {
-            id: 1,
-            offset: 0,
-            len: 1000,
-            fin: false,
-        };
-        assert_eq!(f.wire_size(), 18 + 1000);
-        let p = QuicPacket {
-            conn_id: 1,
-            pn: 1,
-            frames: vec![f],
-        };
-        assert_eq!(p.wire_size(), HEADER_SIZE + 1018);
-        // Encoded control bytes are small even for big synthetic payloads.
-        assert!(p.encode().len() < 64);
-    }
-
-    #[test]
-    fn truncated_packets_error() {
-        assert_eq!(
-            QuicPacket::decode(Bytes::from_static(b"\x80\x00")),
-            Err(WireError::Truncated)
-        );
-        // Valid header, truncated frame.
-        let p = QuicPacket {
-            conn_id: 1,
-            pn: 1,
-            frames: vec![Frame::Stream {
-                id: 1,
-                offset: 0,
-                len: 10,
-                fin: false,
-            }],
-        };
-        let enc = p.encode();
-        let cut = enc.slice(0..enc.len() - 3);
-        assert_eq!(QuicPacket::decode(cut), Err(WireError::Truncated));
-    }
-
-    #[test]
-    fn unknown_frame_tag_errors() {
-        let mut bad = BytesMut::new();
-        bad.put_u8(0x80);
-        bad.put_u64(1);
-        bad.put_u64(1);
-        bad.put_u8(0x7F);
-        assert_eq!(
-            QuicPacket::decode(bad.freeze()),
-            Err(WireError::UnknownFrame(0x7F))
-        );
-    }
-
-    #[test]
-    fn invalid_ack_block_errors() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(0x80);
-        buf.put_u64(1);
-        buf.put_u64(2);
-        buf.put_u8(0x02);
-        buf.put_u64(9); // largest
-        buf.put_u64(0); // delay
-        buf.put_u8(1); // one block
-        buf.put_u64(8); // start
-        buf.put_u64(3); // end < start: malformed
-        assert_eq!(
-            QuicPacket::decode(buf.freeze()),
-            Err(WireError::Malformed("ack block start > end"))
-        );
-    }
-
-    #[test]
-    fn bad_flags_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(0x01);
-        buf.put_u64(1);
-        buf.put_u64(1);
-        assert_eq!(
-            QuicPacket::decode(buf.freeze()),
-            Err(WireError::Malformed("flags"))
-        );
-    }
-}
+pub use longlook_wire::quic::{
+    AckBlock, Frame, HandshakeKind, QuicPacket, WireError, HEADER_SIZE, MAX_ACK_BLOCKS,
+    MAX_PACKET_PAYLOAD,
+};

@@ -189,3 +189,42 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Analytic sizing invariant: `encoded_len()` equals `encode().len()`
+    /// exactly — per frame variant (single-frame packets isolate each) and
+    /// for whole multi-frame packets. The structured wire path charges
+    /// links using `encoded_len`, so any drift here would silently skew
+    /// byte accounting versus the encoded path.
+    #[test]
+    fn encoded_len_matches_encode_per_frame(f in arb_frame()) {
+        let pkt = QuicPacket { conn_id: 0, pn: 0, frames: vec![f] };
+        prop_assert_eq!(pkt.encoded_len() as usize, pkt.encode().len());
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_packets(
+        conn_id in prop_oneof![Just(u64::MAX), any::<u64>()],
+        pn in prop_oneof![Just(u64::MAX), any::<u64>()],
+        frames in proptest::collection::vec(arb_frame(), 0..8),
+    ) {
+        let pkt = QuicPacket { conn_id, pn, frames };
+        prop_assert_eq!(pkt.encoded_len() as usize, pkt.encode().len());
+    }
+
+    /// The 255-block ack cap truncates `encode` and `encoded_len`
+    /// identically, including at max-valued fields (the varint-free
+    /// layout's widest edges).
+    #[test]
+    fn encoded_len_tracks_ack_block_cap(
+        largest in prop_oneof![Just(u64::MAX), any::<u64>()],
+        delay in prop_oneof![Just(u64::MAX), any::<u64>()],
+        nblocks in 0usize..300,
+    ) {
+        let blocks: Vec<AckBlock> =
+            (0..nblocks as u64).map(|i| (2 * i, 2 * i + 1)).collect();
+        let f = Frame::Ack { largest, ack_delay_us: delay, blocks };
+        let pkt = QuicPacket { conn_id: u64::MAX, pn: u64::MAX, frames: vec![f] };
+        prop_assert_eq!(pkt.encoded_len() as usize, pkt.encode().len());
+    }
+}

@@ -15,7 +15,6 @@
 pub mod device;
 pub mod link;
 pub mod packet;
-pub mod pool;
 pub mod rng;
 pub mod sched;
 pub mod schedule;
@@ -24,8 +23,11 @@ pub mod world;
 
 pub use device::{DeviceCpu, DeviceProfile};
 pub use link::{DropKind, Jitter, LinkConfig, LinkDir, LinkStats, ReorderSpec, Verdict};
-pub use packet::{FlowId, NodeId, Packet, PktClass};
-pub use pool::PayloadPool;
+// The payload pool moved down into `longlook-wire` (the wire formats need
+// it); re-exported here so `longlook_sim::pool::PayloadPool` keeps working.
+pub use longlook_wire::pool;
+pub use longlook_wire::{PayloadPool, WireMode};
+pub use packet::{FlowId, NodeId, Packet, Payload, PktClass};
 pub use rng::{current_cell, CellGuard, CellId, IsolationTag, SimRng};
 pub use sched::{EventQueue, SchedKind};
 pub use schedule::RateSchedule;

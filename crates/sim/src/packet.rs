@@ -1,6 +1,8 @@
 //! Packets and addressing.
 
 use bytes::Bytes;
+use longlook_wire::quic::QuicPacket;
+use longlook_wire::tcp::TcpSegment;
 
 /// Identifies a node (host, router, proxy) in the simulated world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -23,12 +25,64 @@ pub enum PktClass {
     Kernel,
 }
 
+/// What a packet carries between endpoints.
+///
+/// The structured variants hand the typed protocol structure to the peer
+/// by value — no serialization, no reparse — while the link layers charge
+/// the same analytic wire sizes either way. `Wire` is the reference
+/// encoded path (`LONGLOOK_WIRE=encoded`), kept for differential testing.
+/// Links never look inside: loss and corruption drop whole packets, they
+/// never forge bytes.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Encoded protocol control bytes (headers and frames).
+    Wire(Bytes),
+    /// A typed QUIC packet carried in memory.
+    Quic(QuicPacket),
+    /// A typed TCP segment carried in memory.
+    Tcp(TcpSegment),
+}
+
+impl Payload {
+    /// An empty encoded payload (control packets in simulator-level tests).
+    pub fn empty() -> Payload {
+        Payload::Wire(Bytes::new())
+    }
+
+    /// The encoded bytes, if this is a `Wire` payload.
+    pub fn as_wire(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Wire(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Payload {
+        Payload::Wire(b)
+    }
+}
+
+impl From<QuicPacket> for Payload {
+    fn from(p: QuicPacket) -> Payload {
+        Payload::Quic(p)
+    }
+}
+
+impl From<TcpSegment> for Payload {
+    fn from(s: TcpSegment) -> Payload {
+        Payload::Tcp(s)
+    }
+}
+
 /// A simulated packet.
 ///
-/// Payload bytes carry the *encoded protocol control information* (headers
-/// and frames); bulk object data is synthetic, accounted only by
-/// `wire_size`, which is the full on-the-wire size the link models charge
-/// for. This keeps a 210 MB download from allocating 210 MB.
+/// The payload carries the *protocol control information* (typed on the
+/// structured fast path, encoded on the reference path); bulk object data
+/// is synthetic, accounted only by `wire_size`, which is the full
+/// on-the-wire size the link models charge for. This keeps a 210 MB
+/// download from allocating 210 MB.
 #[derive(Debug, Clone)]
 pub struct Packet {
     /// Sending node.
@@ -41,8 +95,8 @@ pub struct Packet {
     pub class: PktClass,
     /// Total bytes on the wire (headers + control + synthetic payload).
     pub wire_size: u32,
-    /// Encoded control bytes (protocol headers and frames).
-    pub payload: Bytes,
+    /// Protocol control information (typed or encoded).
+    pub payload: Payload,
 }
 
 impl Packet {
@@ -53,7 +107,7 @@ impl Packet {
         flow: FlowId,
         class: PktClass,
         wire_size: u32,
-        payload: Bytes,
+        payload: impl Into<Payload>,
     ) -> Self {
         Packet {
             src,
@@ -61,7 +115,7 @@ impl Packet {
             flow,
             class,
             wire_size,
-            payload,
+            payload: payload.into(),
         }
     }
 }
@@ -84,7 +138,22 @@ mod tests {
         assert_eq!(p.dst, NodeId(2));
         assert_eq!(p.flow, FlowId(7));
         assert_eq!(p.wire_size, 1350);
-        assert_eq!(&p.payload[..], b"hdr");
+        assert_eq!(&p.payload.as_wire().expect("wire payload")[..], b"hdr");
+    }
+
+    #[test]
+    fn payload_conversions() {
+        let q = QuicPacket {
+            conn_id: 1,
+            pn: 2,
+            frames: Vec::new(),
+        };
+        assert!(matches!(Payload::from(q), Payload::Quic(_)));
+        let t = TcpSegment::control(0, 0, 0, 100);
+        let p: Payload = t.into();
+        assert!(matches!(p, Payload::Tcp(_)));
+        assert!(p.as_wire().is_none());
+        assert_eq!(&Payload::empty().as_wire().expect("wire")[..], b"");
     }
 
     #[test]

@@ -16,9 +16,9 @@ use crate::h2::{H2Demux, H2Event, H2Mux};
 use crate::recv::TcpReceiver;
 use crate::scoreboard::Scoreboard;
 use crate::wire::{flags, TcpSegment};
-use bytes::Bytes;
+use longlook_sim::packet::Payload;
 use longlook_sim::time::{Dur, Time};
-use longlook_sim::PayloadPool;
+use longlook_sim::{PayloadPool, WireMode};
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
 use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD};
@@ -134,9 +134,12 @@ pub struct TcpConnection {
     stats: ConnStats,
     cwnd_log: Vec<(Time, u64)>,
     tracker: StateTracker,
-    /// Recycled payload buffers: encoders take from here, spent received
-    /// payloads are reclaimed in `on_datagram`.
+    /// Recycled payload buffers (encoded path only): encoders take from
+    /// here, spent received payloads are reclaimed in `on_datagram`.
     pool: PayloadPool,
+    /// Structured (typed segments in memory) vs encoded (serialize +
+    /// reparse) wire path; resolved from `LONGLOOK_WIRE` at construction.
+    wire_mode: WireMode,
 }
 
 impl TcpConnection {
@@ -193,6 +196,7 @@ impl TcpConnection {
             cwnd_log: vec![(now, 0)],
             tracker: StateTracker::new(now, CcState::Init.label()),
             pool: PayloadPool::new(),
+            wire_mode: WireMode::from_env(),
         }
     }
 
@@ -305,10 +309,11 @@ impl TcpConnection {
         let wire_size = seg.wire_size_payload() + TCP_OVERHEAD + 17 * seg.records.len() as u32;
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += wire_size as u64;
-        Transmit {
-            payload: seg.encode_with(&mut self.pool),
-            wire_size,
-        }
+        let payload = match self.wire_mode {
+            WireMode::Structured => Payload::Tcp(seg),
+            WireMode::Encoded => Payload::Wire(seg.encode_with(&mut self.pool)),
+        };
+        Transmit { payload, wire_size }
     }
 
     fn make_control(&mut self, flag_bits: u8, now: Time) -> Transmit {
@@ -330,10 +335,11 @@ impl TcpConnection {
             self.stats.acks_sent += 1;
         }
         let _ = now;
-        Transmit {
-            payload: seg.encode_with(&mut self.pool),
-            wire_size,
-        }
+        let payload = match self.wire_mode {
+            WireMode::Structured => Payload::Tcp(seg),
+            WireMode::Encoded => Payload::Wire(seg.encode_with(&mut self.pool)),
+        };
+        Transmit { payload, wire_size }
     }
 
     fn drain_h2_events(&mut self) {
@@ -365,16 +371,25 @@ impl TcpConnection {
 }
 
 impl Connection for TcpConnection {
-    fn on_datagram(&mut self, payload: Bytes, now: Time) {
+    fn on_datagram(&mut self, payload: Payload, now: Time) {
         self.stats.packets_received += 1;
-        // Decode a cheap clone (an `Arc` bump) so the spent payload can be
-        // reclaimed into the buffer pool afterwards; the clone is consumed
-        // and dropped inside `decode`.
-        let decoded = TcpSegment::decode(payload.clone());
-        self.pool.reclaim(payload);
-        let seg = match decoded {
-            Ok(s) => s,
-            Err(_) => return,
+        let seg = match payload {
+            // Structured fast path: the typed segment arrives by value.
+            Payload::Tcp(s) => s,
+            Payload::Wire(bytes) => {
+                // Decode borrows the payload so the spent buffer can be
+                // reclaimed into the pool afterwards (sole-owner fast
+                // path — no refcount bump, no clone).
+                let decoded = TcpSegment::decode(&bytes[..]);
+                self.pool.reclaim(bytes);
+                match decoded {
+                    Ok(s) => s,
+                    Err(_) => return,
+                }
+            }
+            // Flow demux never routes a QUIC packet here; treat one like
+            // an undecodable segment.
+            Payload::Quic(_) => return,
         };
 
         // Handshake control.

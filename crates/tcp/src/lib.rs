@@ -17,7 +17,7 @@ pub mod wire;
 pub use connection::{TcpConfig, TcpConnection, TcpRole};
 pub use h2::{H2Demux, H2Event, H2Mux, RECORD_HEADER};
 pub use scoreboard::{Scoreboard, TcpAckOutcome};
-pub use wire::{flags, RecordDesc, TcpSegment, TcpWireError};
+pub use wire::{flags, RecordDesc, TcpSegment, TcpWireError, MAX_RECORDS, MAX_SACKS};
 
 #[cfg(test)]
 mod loopback_tests {
@@ -25,6 +25,7 @@ mod loopback_tests {
     //! QUIC crate's loopback harness).
 
     use crate::{TcpConfig, TcpConnection};
+    use longlook_sim::packet::Payload;
     use longlook_sim::time::{Dur, Time};
     use longlook_transport::conn::{AppEvent, Connection, StreamId};
     use std::collections::VecDeque;
@@ -32,8 +33,8 @@ mod loopback_tests {
     const OWD: Dur = Dur::from_millis(18); // 36ms RTT
 
     struct Pipe {
-        a_to_b: VecDeque<(Time, bytes::Bytes)>,
-        b_to_a: VecDeque<(Time, bytes::Bytes)>,
+        a_to_b: VecDeque<(Time, Payload)>,
+        b_to_a: VecDeque<(Time, Payload)>,
         drop_a_to_b: Vec<u64>,
         drop_b_to_a: Vec<u64>,
         sent_ab: u64,

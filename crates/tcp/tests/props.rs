@@ -280,3 +280,43 @@ proptest! {
         prop_assert!(TcpSegment::decode(bytes.slice(0..cut)).is_err());
     }
 }
+
+proptest! {
+    /// Analytic sizing invariant: `encoded_len()` equals `encode().len()`
+    /// exactly for every segment shape. The structured wire path charges
+    /// links using `encoded_len`, so any drift here would silently skew
+    /// byte accounting versus the encoded path.
+    #[test]
+    fn encoded_len_matches_encode(seg in arb_segment()) {
+        prop_assert_eq!(seg.encoded_len() as usize, seg.encode().len());
+    }
+
+    /// Option-truncation edge: past the 255-SACK cap, `encode` and
+    /// `encoded_len` truncate identically, including at max-valued fields.
+    #[test]
+    fn encoded_len_tracks_sack_cap(
+        seq in prop_oneof![Just(u64::MAX), any::<u64>()],
+        window in prop_oneof![Just(u64::MAX), any::<u64>()],
+        nsacks in 0usize..300,
+        nrecs in 0usize..40,
+    ) {
+        let seg = TcpSegment {
+            seq,
+            ack: u64::MAX,
+            flags: flags::ACK,
+            window,
+            payload_len: u32::MAX,
+            sacks: (0..nsacks as u64).map(|i| (2 * i, 2 * i + 1)).collect(),
+            dsack: true,
+            records: (0..nrecs)
+                .map(|i| RecordDesc {
+                    offset: u64::MAX - i as u64,
+                    stream: u32::MAX,
+                    len: u32::MAX,
+                    fin: true,
+                })
+                .collect(),
+        };
+        prop_assert_eq!(seg.encoded_len() as usize, seg.encode().len());
+    }
+}

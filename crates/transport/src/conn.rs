@@ -7,7 +7,7 @@
 //! either protocol.
 
 use crate::ccstate::StateTrace;
-use bytes::Bytes;
+use longlook_sim::packet::Payload;
 use longlook_sim::time::Time;
 
 /// Ethernet + IP + UDP framing overhead charged per QUIC datagram.
@@ -39,11 +39,12 @@ pub enum AppEvent {
     StreamFin(StreamId),
 }
 
-/// An encoded datagram/segment ready for the wire.
+/// A datagram/segment ready for the wire.
 #[derive(Debug, Clone)]
 pub struct Transmit {
-    /// Encoded protocol control bytes (headers + frames).
-    pub payload: Bytes,
+    /// Protocol control information: a typed packet on the structured
+    /// fast path, encoded bytes under `LONGLOOK_WIRE=encoded`.
+    pub payload: Payload,
     /// Total on-the-wire size including framing overhead and synthetic
     /// payload bytes.
     pub wire_size: u32,
@@ -82,7 +83,7 @@ pub struct ConnStats {
 /// A transport connection as seen by the host agent and application.
 pub trait Connection {
     /// Ingest one datagram/segment from the wire.
-    fn on_datagram(&mut self, payload: Bytes, now: Time);
+    fn on_datagram(&mut self, payload: Payload, now: Time);
 
     /// Produce the next datagram/segment to put on the wire, if any is
     /// ready (congestion window, pacing and flow control permitting).

@@ -1,0 +1,27 @@
+//! Protocol wire formats, shared below the simulator.
+//!
+//! This crate sits at the bottom of the workspace (only the `bytes` shim
+//! under it) so that *both* the simulator and the transport crates can name
+//! the typed packet structures: `sim::packet::Payload` carries a
+//! [`quic::QuicPacket`] or [`tcp::TcpSegment`] by value on the structured
+//! fast path, while the QUIC/TCP connection crates re-export these types as
+//! their `wire` modules.
+//!
+//! Two invariants everything else leans on:
+//!
+//! 1. **Analytic sizing**: every frame/header/segment type has an
+//!    `encoded_len()` computed without allocating, proptest-pinned to
+//!    `encode().len()`. The structured path charges links byte-identical
+//!    wire sizes without ever serializing.
+//! 2. **Canonical encoding**: `decode(encode(x)) == x` for every value the
+//!    transports emit, so handing the typed value to the peer (structured)
+//!    is observationally identical to encode→decode (encoded). The
+//!    `wire_differential` referee suite enforces this end to end.
+
+pub mod mode;
+pub mod pool;
+pub mod quic;
+pub mod tcp;
+
+pub use mode::WireMode;
+pub use pool::PayloadPool;

@@ -1,0 +1,68 @@
+//! Wire-path selection: structured in-memory packets vs encoded bytes.
+
+use std::sync::Once;
+
+/// Which payload representation the transports put on simulated links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Hand the typed `QuicPacket`/`TcpSegment` to the peer by value,
+    /// charging analytic `encoded_len()` sizes (default).
+    Structured,
+    /// Serialize to `Bytes` and reparse on receipt
+    /// (`LONGLOOK_WIRE=encoded`), the reference path.
+    Encoded,
+}
+
+impl WireMode {
+    /// Resolve from the `LONGLOOK_WIRE` environment variable.
+    ///
+    /// Read on every call (not cached) so differential tests and benches
+    /// can flip the variable between connection constructions in one
+    /// process — mirroring `LONGLOOK_SCHED`.
+    pub fn from_env() -> WireMode {
+        match std::env::var("LONGLOOK_WIRE") {
+            Ok(v) if v.eq_ignore_ascii_case("encoded") => WireMode::Encoded,
+            Ok(v) if v.eq_ignore_ascii_case("structured") || v.is_empty() => WireMode::Structured,
+            Ok(v) => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "warning: unrecognized LONGLOOK_WIRE={v:?} (expected \
+                         \"structured\" or \"encoded\"); using structured"
+                    );
+                });
+                WireMode::Structured
+            }
+            Err(_) => WireMode::Structured,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test flips the env var through every case: `LONGLOOK_WIRE` is
+    /// process-global, so separate tests would race.
+    #[test]
+    fn from_env_resolves_all_spellings() {
+        let saved = std::env::var("LONGLOOK_WIRE").ok();
+        std::env::remove_var("LONGLOOK_WIRE");
+        assert_eq!(WireMode::from_env(), WireMode::Structured);
+        for (v, want) in [
+            ("structured", WireMode::Structured),
+            ("STRUCTURED", WireMode::Structured),
+            ("", WireMode::Structured),
+            ("encoded", WireMode::Encoded),
+            ("Encoded", WireMode::Encoded),
+            ("junk-value", WireMode::Structured), // warns once, falls back
+        ] {
+            std::env::set_var("LONGLOOK_WIRE", v);
+            assert_eq!(WireMode::from_env(), want, "LONGLOOK_WIRE={v:?}");
+        }
+        match saved {
+            Some(v) => std::env::set_var("LONGLOOK_WIRE", v),
+            None => std::env::remove_var("LONGLOOK_WIRE"),
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Recycled payload buffers for the packet hot path.
+//! Recycled payload buffers for the encoded packet path.
 //!
 //! Every encoded packet used to allocate a fresh `BytesMut::with_capacity(64)`
 //! and drop it (via `Bytes`) when the packet was consumed — tens of
@@ -14,7 +14,9 @@
 //! synchronization (each connection owns its pool, mirroring how each
 //! experiment cell owns its world) and no effect on simulation semantics —
 //! buffer identity never feeds timing, RNG, or wire contents, so pooling is
-//! invisible to determinism.
+//! invisible to determinism. On the structured path
+//! ([`WireMode::Structured`](crate::WireMode)) no bytes are produced at all
+//! and the pool simply idles.
 
 use bytes::{Bytes, BytesMut};
 

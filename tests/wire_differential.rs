@@ -1,0 +1,162 @@
+//! Wire-path differential referee: structured vs encoded payloads.
+//!
+//! The structured fast path hands typed `QuicPacket`/`TcpSegment` values
+//! straight to the peer and charges links analytic `encoded_len()` sizes;
+//! the encoded path serializes to bytes and reparses on receipt. The two
+//! must be *observationally identical* — same wire-size charging, same
+//! frame contents after transit, so same RNG draw sequence, timing, and
+//! bit-identical `RunRecord`s, `StateTrace`s, and event counts. Scenarios
+//! with loss and jitter exercise drop/reorder handling of structured
+//! packets (links must drop whole packets, never forge bytes).
+//!
+//! Everything runs inside ONE `#[test]` because the A/B switch is the
+//! `LONGLOOK_WIRE` environment variable, which is process-global: two
+//! tests flipping it concurrently in the same test binary would race.
+
+use longlook_core::prelude::*;
+use longlook_transport::conn::ConnStats;
+
+/// Run `f` with `LONGLOOK_WIRE` set to `mode`, restoring the prior value
+/// afterwards.
+fn with_wire<T>(mode: &str, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("LONGLOOK_WIRE").ok();
+    std::env::set_var("LONGLOOK_WIRE", mode);
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("LONGLOOK_WIRE", v),
+        None => std::env::remove_var("LONGLOOK_WIRE"),
+    }
+    out
+}
+
+/// Exhaustive deterministic rendering of a record set — every counter,
+/// the full state trace, and the complete cwnd timeline as exact
+/// integers, so equality is bit-for-bit.
+fn render(records: &[RunRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let stats_line = |s: &ConnStats| {
+        format!(
+            "sent={} recv={} bytes_out={} bytes_in={} acked={} rexmit={} spurious={} \
+             losses={} rto={} tlp={} acks={} max_cwnd={}",
+            s.packets_sent,
+            s.packets_received,
+            s.bytes_sent,
+            s.bytes_received,
+            s.bytes_acked,
+            s.retransmissions,
+            s.spurious_retransmissions,
+            s.losses_detected,
+            s.rto_count,
+            s.tlp_count,
+            s.acks_sent,
+            s.max_cwnd,
+        )
+    };
+    for (k, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "round {k}: plt_ns={} ended_ns={}",
+            r.plt
+                .map_or_else(|| "none".into(), |d| d.as_nanos().to_string()),
+            r.ended_at.as_nanos(),
+        );
+        let _ = writeln!(out, "  client {}", stats_line(&r.client_stats));
+        if let Some(s) = &r.server_stats {
+            let _ = writeln!(out, "  server {}", stats_line(s));
+        }
+        if let Some(t) = &r.server_trace {
+            let _ = writeln!(
+                out,
+                "  trace={} span_ns={}",
+                t.labels().join(">"),
+                t.span.as_nanos()
+            );
+        }
+        for &(t, w) in &r.server_cwnd {
+            let _ = writeln!(out, "  cwnd {} {}", t.as_nanos(), w);
+        }
+    }
+    out
+}
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        (
+            "clean",
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(40 * 1024))
+                .with_rounds(2)
+                .with_seed(8201),
+        ),
+        (
+            "lossy",
+            Scenario::new(
+                NetProfile::baseline(5.0).with_loss(0.02),
+                PageSpec::single(80 * 1024),
+            )
+            .with_rounds(2)
+            .with_seed(8202),
+        ),
+        (
+            "jittered",
+            Scenario::new(
+                NetProfile::baseline(20.0).with_jitter(Dur::from_millis(4)),
+                PageSpec::uniform(5, 20 * 1024),
+            )
+            .with_rounds(2)
+            .with_seed(8203),
+        ),
+    ]
+}
+
+/// One bulk page load; returns (events_processed, scheduled_peak).
+fn bulk_cell(proto: &ProtoConfig) -> (u64, u64) {
+    let net = NetProfile::baseline(20.0);
+    let page = PageSpec::single(2 * 1024 * 1024);
+    let mut tb = Testbed::direct(
+        8888,
+        &net,
+        DeviceProfile::DESKTOP,
+        page.clone(),
+        vec![FlowSpec {
+            proto: proto.clone(),
+            zero_rtt: false,
+            app: Box::new(WebClient::new(page)),
+        }],
+        None,
+        true,
+    );
+    tb.run(Dur::from_secs(120));
+    (tb.world.events_processed(), tb.world.scheduled_peak())
+}
+
+#[test]
+fn structured_and_encoded_wire_paths_are_observationally_identical() {
+    let protos = [
+        ("quic", ProtoConfig::Quic(QuicConfig::default())),
+        ("tcp", ProtoConfig::Tcp(TcpConfig::default())),
+    ];
+
+    // Full RunRecord + StateTrace equality over clean / lossy / jittered.
+    for (proto_name, proto) in &protos {
+        for (sc_name, sc) in scenarios() {
+            let structured = with_wire("structured", || render(&run_records(proto, &sc)));
+            let encoded = with_wire("encoded", || render(&run_records(proto, &sc)));
+            assert_eq!(
+                structured, encoded,
+                "{proto_name}/{sc_name}: RunRecords diverged between wire paths"
+            );
+        }
+    }
+
+    // Event-loop accounting equality on a bulk transfer: identical wire
+    // sizes mean identical link timing, so the push/pop sequences — and
+    // therefore event counts and the scheduler high-water mark — match.
+    for (proto_name, proto) in &protos {
+        let (ev_s, peak_s) = with_wire("structured", || bulk_cell(proto));
+        let (ev_e, peak_e) = with_wire("encoded", || bulk_cell(proto));
+        assert_eq!(ev_s, ev_e, "{proto_name}: events_processed diverged");
+        assert_eq!(peak_s, peak_e, "{proto_name}: scheduled_peak diverged");
+        assert!(ev_s > 1_000, "{proto_name}: bulk cell suspiciously small");
+    }
+}
