@@ -6,6 +6,7 @@
 //! repro all             # run everything
 //! repro -j 4 fig6a      # shard experiment cells across 4 threads
 //! repro -j 4 --timing fig6a   # also print per-batch scheduler reports
+//! repro trauma results/trauma/repro_17.json   # replay a traumafuzz repro
 //! ```
 //!
 //! Set `LONGLOOK_ROUNDS` to lower the per-measurement rounds (default 10)
@@ -24,6 +25,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!("usage: repro [-j N] [--timing] <experiment-id>|list|all");
+    eprintln!("       repro trauma <repro.json>   # replay a traumafuzz repro file");
     eprintln!("  -j N      shard cells across N threads (or set LONGLOOK_JOBS; 1 = serial)");
     eprintln!("  --timing  print a scheduler report per batch (jobs, chunk, speedup)");
     eprintln!("experiments:");
@@ -124,6 +126,36 @@ fn main() {
     );
     match args.first().map(String::as_str) {
         None | Some("list") => usage(),
+        // `repro trauma` with no file runs the trauma *experiment* (the
+        // generic arm below); with a file it replays a shrunk repro.
+        Some("trauma") if args.len() >= 2 => {
+            // Replay a shrunk traumafuzz repro file: exit 0 iff the
+            // recorded oracle violation reproduces.
+            let path = &args[1];
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let case = longlook_bench::fuzz::parse_repro(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(2);
+            });
+            println!(
+                "replaying seed {} ({} event(s), canary: {})",
+                case.seed,
+                case.plan.events.len(),
+                case.canary
+            );
+            let violations = longlook_bench::fuzz::replay(&case);
+            if violations.is_empty() {
+                println!("no violation: the repro did NOT reproduce");
+                std::process::exit(1);
+            }
+            for v in &violations {
+                println!("  {v}");
+            }
+            println!("violation reproduced ({} oracle hit(s))", violations.len());
+        }
         Some("all") => {
             let started = Instant::now();
             for (id, _) in list_experiments() {

@@ -8,6 +8,7 @@ pub mod historical;
 pub mod statemachines;
 pub mod tables;
 pub mod timelines;
+pub mod trauma_sweep;
 pub mod video_exp;
 
 /// All experiment ids with one-line descriptions, in paper order.
@@ -59,6 +60,10 @@ pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
         ("ablation_pacing", "pacing on/off under loss"),
         ("ablation_nconn", "N-connection emulation vs fairness"),
         ("ablation_bbr", "experimental BBR vs Cubic"),
+        (
+            "trauma",
+            "fault-injection sweep: completion and typed errors under trauma",
+        ),
     ]
 }
 
@@ -96,6 +101,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "ablation_pacing" => ablations::pacing(),
         "ablation_nconn" => ablations::nconn(),
         "ablation_bbr" => ablations::bbr(),
+        "trauma" => trauma_sweep::trauma(),
         _ => return None,
     };
     Some(out)

@@ -5,6 +5,7 @@
 //! overrides the default 10 rounds for quicker smoke runs.
 
 pub mod experiments;
+pub mod fuzz;
 pub mod json;
 
 pub use experiments::{list_experiments, run_experiment};

@@ -131,7 +131,7 @@ pub fn run_page_load(proto: &ProtoConfig, sc: &Scenario, round: u64) -> RunRecor
 /// to round, modelling the path-latency noise any physical testbed has.
 /// Without this, the deterministic simulator would report sub-percent
 /// differences as maximally significant, which no real measurement could.
-fn per_round_net(sc: &Scenario, round: u64) -> NetProfile {
+pub(crate) fn per_round_net(sc: &Scenario, round: u64) -> NetProfile {
     let mut net = sc.net.clone();
     let u = longlook_sim::rng::hash_unit(sc.base_seed ^ 0xA11CE, round);
     net.rtt = net.rtt.mul_f64(0.97 + 0.06 * u);

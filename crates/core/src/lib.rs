@@ -45,6 +45,7 @@ pub mod params;
 pub mod rootcause;
 pub mod runner;
 pub mod testbed;
+pub mod trauma;
 pub mod versions;
 
 /// Everything a downstream experiment typically needs.
@@ -67,14 +68,19 @@ pub mod prelude {
         run_ordered, run_ordered_chunked, run_ordered_reporting, Parallelism, RunnerReport,
     };
     pub use crate::testbed::{FlowSpec, NetProfile, ProxyTestbed, Testbed};
+    pub use crate::trauma::{run_trauma_cell, run_trauma_records_par, TraumaRecord};
     pub use crate::versions::QuicVersion;
     pub use longlook_http::app::{BulkClient, ClientApp, WebClient};
     pub use longlook_http::host::{ClientHost, ProtoConfig, ServerHost, WaitModel};
     pub use longlook_http::workload::{table2, PageSpec};
     pub use longlook_quic::{CcKind, QuicConfig};
     pub use longlook_sim::time::{Dur, Time};
-    pub use longlook_sim::{DeviceProfile, Jitter, RateSchedule, ReorderSpec};
+    pub use longlook_sim::{
+        DeviceProfile, FaultDir, FaultEvent, FaultKind, FaultPlan, GeParams, Jitter, PeerSide,
+        RateSchedule, ReorderSpec, RunOutcome,
+    };
     pub use longlook_stats::{Comparison, Heatmap, HeatmapCell, Summary, Verdict};
     pub use longlook_tcp::TcpConfig;
+    pub use longlook_transport::conn::ConnError;
     pub use longlook_video::{QoeMetrics, VideoClient, VideoConfig, QUALITIES};
 }

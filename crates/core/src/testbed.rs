@@ -14,7 +14,7 @@ use longlook_sim::link::{Jitter, LinkConfig, ReorderSpec};
 use longlook_sim::schedule::RateSchedule;
 use longlook_sim::time::{Dur, Time};
 use longlook_sim::world::World;
-use longlook_sim::{DeviceProfile, FlowId, NodeId};
+use longlook_sim::{DeviceProfile, FaultPlan, FlowId, NodeId, PeerSide};
 
 /// A network environment: everything `tc`/`netem` controlled on the
 /// paper's router.
@@ -32,6 +32,12 @@ pub struct NetProfile {
     pub reorder: Option<ReorderSpec>,
     /// Drop-tail buffer override in bytes (`None` = one BDP, min 64 KB).
     pub buffer_bytes: Option<u64>,
+    /// Deterministic fault schedule layered on the path. `None` keeps the
+    /// link transit paths and RNG streams byte-identical to a profile
+    /// built before the fault layer existed (the golden-seed referee
+    /// pins this). When set, the testbed also arms both endpoints'
+    /// connection watchdogs so faulted runs terminate with typed errors.
+    pub fault: Option<FaultPlan>,
 }
 
 impl NetProfile {
@@ -44,7 +50,14 @@ impl NetProfile {
             jitter: Jitter::None,
             reorder: None,
             buffer_bytes: None,
+            fault: None,
         }
+    }
+
+    /// Builder: attach a deterministic fault schedule.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Builder: add random loss.
@@ -128,12 +141,21 @@ impl Testbed {
     ) -> Testbed {
         let mut world = World::new(seed);
         let server_id = NodeId(1);
+        // Under a fault plan both endpoints run with armed watchdogs:
+        // blackouts and stalls must end in a typed error, never a hang.
+        let arm = |proto: ProtoConfig| -> ProtoConfig {
+            if net.fault.is_some() {
+                proto.with_watchdog()
+            } else {
+                proto
+            }
+        };
         let mut client = ClientHost::new(server_id, stop_when_done);
         let mut server = ServerHost::new(
-            flows
+            arm(flows
                 .first()
                 .map(|f| f.proto.clone())
-                .unwrap_or(ProtoConfig::Quic(Default::default())),
+                .unwrap_or(ProtoConfig::Quic(Default::default()))),
             catalog,
             seed ^ 0x6C6F_6E67, // "long"
         );
@@ -157,14 +179,37 @@ impl Testbed {
                 }
                 _ => spec.proto.clone(),
             };
-            server.expect_flow(flow, spec.proto.clone());
-            client.add(flow, &client_proto, spec.zero_rtt, spec.app, Time::ZERO);
+            server.expect_flow(flow, arm(spec.proto.clone()));
+            client.add(
+                flow,
+                &arm(client_proto),
+                spec.zero_rtt,
+                spec.app,
+                Time::ZERO,
+            );
             flow_ids.push(flow);
         }
         let c = world.add_node(Box::new(client), device);
         let s = world.add_node(Box::new(server), DeviceProfile::SERVER);
         debug_assert_eq!(s, server_id);
-        world.connect(c, s, net.link(), net.link());
+        // Per-direction fault views: "up" is client -> server (the first
+        // `connect` argument), "down" the reverse.
+        let (up, down) = match &net.fault {
+            Some(plan) => (
+                net.link().with_fault(plan.link_view(true)),
+                net.link().with_fault(plan.link_view(false)),
+            ),
+            None => (net.link(), net.link()),
+        };
+        world.connect(c, s, up, down);
+        if let Some(plan) = &net.fault {
+            for (from, until) in plan.stall_windows(PeerSide::Client) {
+                world.stall_node(c, from, until);
+            }
+            for (from, until) in plan.stall_windows(PeerSide::Server) {
+                world.stall_node(s, from, until);
+            }
+        }
         world.kick(c);
         Testbed {
             world,

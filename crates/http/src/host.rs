@@ -15,7 +15,7 @@ use longlook_sim::world::{Agent, Ctx};
 use longlook_sim::{FlowId, NodeId, Packet, PktClass};
 use longlook_tcp::{TcpConfig, TcpConnection};
 use longlook_transport::ccstate::StateTrace;
-use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId};
+use longlook_transport::conn::{AppEvent, ConnError, ConnStats, Connection, StreamId};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 
@@ -53,6 +53,18 @@ impl ProtoConfig {
             }
             ProtoConfig::Tcp(cfg) => Box::new(TcpConnection::client(cfg.clone(), now)),
         }
+    }
+
+    /// Arm the connection watchdog (typed handshake/idle timeouts) on
+    /// whichever protocol this is. The testbed applies this to both ends
+    /// whenever a fault plan is attached, so faulted runs terminate with
+    /// a typed error instead of livelocking.
+    pub fn with_watchdog(mut self) -> Self {
+        match &mut self {
+            ProtoConfig::Quic(cfg) => cfg.watchdog = true,
+            ProtoConfig::Tcp(cfg) => cfg.watchdog = true,
+        }
+        self
     }
 
     /// Build a server-side connection.
@@ -153,6 +165,11 @@ impl ClientHost {
     /// State trace of the `index`-th connection.
     pub fn state_trace(&self, index: usize, now: Time) -> StateTrace {
         self.slots[index].conn.state_trace(now)
+    }
+
+    /// Terminal error of the `index`-th connection, if it gave up.
+    pub fn conn_error(&self, index: usize) -> Option<ConnError> {
+        self.slots[index].conn.error()
     }
 
     /// Number of apps.
@@ -325,6 +342,11 @@ impl ServerHost {
     /// Congestion window timeline for `flow`.
     pub fn cwnd_timeline(&self, flow: FlowId) -> Option<&[(Time, u64)]> {
         self.conns.get(&flow).map(|s| s.conn.cwnd_timeline())
+    }
+
+    /// Terminal error of the connection for `flow`, if it gave up.
+    pub fn conn_error(&self, flow: FlowId) -> Option<ConnError> {
+        self.conns.get(&flow).and_then(|s| s.conn.error())
     }
 
     fn respond(&mut self, flow: FlowId, stream: StreamId, object: usize, now: Time) {

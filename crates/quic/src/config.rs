@@ -67,6 +67,29 @@ pub struct QuicConfig {
     pub initial_rtt: Dur,
     /// Whether the client may attempt 0-RTT when it has cached state.
     pub zero_rtt_enabled: bool,
+    /// Whether the server accepts 0-RTT data before the full handshake
+    /// (real servers reject when the cached server config expired). When
+    /// `false`, a 0-RTT attempt draws a REJ: the client falls back to a
+    /// full 1-RTT handshake and retransmits the early data.
+    pub zero_rtt_accept: bool,
+    /// Arm the connection watchdog: give up with a typed
+    /// [`longlook_transport::ConnError`] when the handshake exceeds
+    /// `handshake_timeout` or an established connection sits idle with
+    /// outstanding work past `idle_timeout`. Off by default so unfaulted
+    /// runs schedule no extra timers; the testbed flips it on whenever a
+    /// fault plan is attached.
+    pub watchdog: bool,
+    /// Handshake deadline when the watchdog is armed.
+    pub handshake_timeout: Dur,
+    /// Idle deadline (no forward progress with work outstanding) when the
+    /// watchdog is armed.
+    pub idle_timeout: Dur,
+    /// Test-only canary: swallow watchdog expiry without surfacing the
+    /// typed error, leaving the connection incomplete and silent. Exists
+    /// so the fuzzer's no-silent-livelock oracle has a real bug to catch
+    /// and shrink; never set outside the fuzz harness.
+    #[doc(hidden)]
+    pub canary_mute_watchdog: bool,
 }
 
 impl Default for QuicConfig {
@@ -95,6 +118,11 @@ impl Default for QuicConfig {
             delayed_ack: Dur::from_millis(25),
             initial_rtt: Dur::from_millis(100),
             zero_rtt_enabled: true,
+            zero_rtt_accept: true,
+            watchdog: false,
+            handshake_timeout: Dur::from_secs(30),
+            idle_timeout: Dur::from_secs(60),
+            canary_mute_watchdog: false,
         }
     }
 }

@@ -16,7 +16,9 @@ use longlook_sim::time::{Dur, Time};
 use longlook_sim::{PayloadPool, WireMode};
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
-use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, UDP_OVERHEAD};
+use longlook_transport::conn::{
+    AppEvent, ConnError, ConnStats, Connection, StreamId, Transmit, UDP_OVERHEAD,
+};
 use longlook_transport::cubic::Cubic;
 use longlook_transport::pacing::Pacer;
 use longlook_transport::rtt::RttEstimator;
@@ -61,6 +63,19 @@ pub struct QuicConnection {
     /// unlock 0-RTT next time).
     learned_server_config: bool,
     used_zero_rtt: bool,
+    /// Server already sent a REJ refusing early data (one-shot).
+    rej_sent: bool,
+    /// Client's 0-RTT attempt was rejected; it fell back to 1-RTT.
+    zero_rtt_rejected: bool,
+
+    /// Construction instant: base for the handshake watchdog deadline.
+    started_at: Time,
+    /// Last inbound packet: base for the idle watchdog deadline.
+    last_progress: Time,
+    /// Watchdog tripped: the connection stopped trying (error may be
+    /// muted by the test-only canary).
+    gave_up: bool,
+    error: Option<ConnError>,
 
     next_pn: u64,
     sent: SentTracker,
@@ -196,6 +211,12 @@ impl QuicConnection {
             hs_queue: VecDeque::new(),
             learned_server_config: false,
             used_zero_rtt: false,
+            rej_sent: false,
+            zero_rtt_rejected: false,
+            started_at: now,
+            last_progress: now,
+            gave_up: false,
+            error: None,
             next_pn: 1,
             sent: SentTracker::default(),
             acks: AckTracker::default(),
@@ -247,6 +268,12 @@ impl QuicConnection {
         self.used_zero_rtt
     }
 
+    /// Whether a 0-RTT attempt was refused by the server and the client
+    /// fell back to a full 1-RTT handshake.
+    pub fn zero_rtt_rejected(&self) -> bool {
+        self.zero_rtt_rejected
+    }
+
     /// The effective NACK threshold (grows under `adaptive_nack`).
     pub fn current_nack_threshold(&self) -> u32 {
         self.nack_threshold
@@ -268,6 +295,9 @@ impl QuicConnection {
     fn on_handshake_frame(&mut self, kind: HandshakeKind, now: Time) {
         match (self.role, kind) {
             (Role::Server, HandshakeKind::InchoateChlo) if self.hs == Handshake::AwaitingChlo => {
+                // The REJ carries a fresh server config, so any FullCHLO
+                // that follows it is acceptable even under 0-RTT refusal.
+                self.rej_sent = true;
                 self.hs_queue.push_back(HandshakeKind::Rej);
             }
             (Role::Server, HandshakeKind::FullChlo) if self.hs != Handshake::Established => {
@@ -278,6 +308,31 @@ impl QuicConnection {
                 self.learned_server_config = true;
                 self.establish(now);
                 self.hs_queue.push_back(HandshakeKind::FullChlo);
+            }
+            // 0-RTT rejection: the server refused our early data. Fall
+            // back to 1-RTT — declare everything outstanding lost (the
+            // server dropped it unacked), refresh the config, and
+            // re-drive the full handshake. One-shot: a duplicated REJ
+            // must not re-trigger the fallback (it falls to the ignore
+            // arm below).
+            (Role::Client, HandshakeKind::Rej)
+                if self.hs == Handshake::Established
+                    && self.used_zero_rtt
+                    && !self.zero_rtt_rejected =>
+            {
+                self.zero_rtt_rejected = true;
+                self.learned_server_config = true;
+                let lost = self.sent.declare_oldest_lost(usize::MAX);
+                let had_chlo = lost
+                    .iter()
+                    .any(|p| matches!(p.handshake, Some(HandshakeKind::FullChlo)));
+                for pkt in &lost {
+                    self.requeue_lost(pkt);
+                }
+                if !had_chlo {
+                    self.hs_queue.push_back(HandshakeKind::FullChlo);
+                }
+                self.rearm_loss_timer(now);
             }
             (Role::Client, HandshakeKind::Shlo) => {
                 // Forward secure keys; nothing further to do in the model.
@@ -490,6 +545,39 @@ impl QuicConnection {
         self.send_streams.values().any(SendStream::wants_to_send)
     }
 
+    /// Watchdog trip: stop trying, clear every pending timer and queue so
+    /// the connection reads as quiescent, and surface the typed error —
+    /// unless the test-only canary mutes it (the silent-livelock bug the
+    /// fuzzer oracle exists to catch).
+    fn give_up(&mut self, err: ConnError) {
+        self.gave_up = true;
+        if !self.cfg.canary_mute_watchdog {
+            self.error = Some(err);
+        }
+        self.hs_queue.clear();
+        self.loss_timer = None;
+        self.pacing_deadline = None;
+        self.tlp_fire = false;
+    }
+
+    /// Check the armed watchdog at `now`, tripping it when a deadline
+    /// passed. Handshake phase uses the construction-relative deadline;
+    /// established connections time out on inbound silence, but only
+    /// while work is actually outstanding (a finished, idle connection
+    /// never times out).
+    fn check_watchdog(&mut self, now: Time) {
+        if !self.cfg.watchdog || self.gave_up {
+            return;
+        }
+        if self.hs != Handshake::Established {
+            if now >= self.started_at + self.cfg.handshake_timeout {
+                self.give_up(ConnError::HandshakeTimeout);
+            }
+        } else if !self.is_quiescent() && now >= self.last_progress + self.cfg.idle_timeout {
+            self.give_up(ConnError::IdleTimeout);
+        }
+    }
+
     fn frame_budget(used: u32) -> u32 {
         MAX_PACKET_PAYLOAD.saturating_sub(used)
     }
@@ -569,6 +657,35 @@ impl Connection for QuicConnection {
             // an undecodable datagram.
             Payload::Tcp(_) => return,
         };
+        if self.gave_up {
+            return;
+        }
+        self.last_progress = now;
+        // 0-RTT rejection: a server whose cached config expired must not
+        // process — or ack — early data arriving before the handshake. The
+        // whole flight is dropped and a single REJ queued; the client
+        // replays everything after its fallback. Once the REJ is out,
+        // the retransmitted FullCHLO takes the normal 1-RTT accept path.
+        if self.role == Role::Server
+            && self.hs != Handshake::Established
+            && !self.cfg.zero_rtt_accept
+            && !self.rej_sent
+            && pkt.frames.iter().any(|f| {
+                matches!(f, Frame::Stream { .. })
+                    || matches!(
+                        f,
+                        Frame::Handshake {
+                            kind: HandshakeKind::FullChlo,
+                            ..
+                        }
+                    )
+            })
+        {
+            self.rej_sent = true;
+            self.hs_queue.push_back(HandshakeKind::Rej);
+            self.update_state(now);
+            return;
+        }
         let retransmittable = pkt.frames.iter().any(|f| {
             matches!(
                 f,
@@ -615,6 +732,9 @@ impl Connection for QuicConnection {
     }
 
     fn poll_transmit(&mut self, now: Time) -> Option<Transmit> {
+        if self.gave_up {
+            return None;
+        }
         let mut frames: Vec<Frame> = Vec::new();
         let mut chunks: Vec<Chunk> = Vec::new();
         let mut used = 0u32;
@@ -778,6 +898,9 @@ impl Connection for QuicConnection {
     }
 
     fn next_wakeup(&self) -> Option<Time> {
+        if self.gave_up {
+            return None;
+        }
         let mut t: Option<Time> = None;
         let mut consider = |cand: Option<Time>| {
             if let Some(c) = cand {
@@ -790,10 +913,24 @@ impl Connection for QuicConnection {
         consider(self.loss_timer.map(|(_, at)| at));
         consider(self.acks.deadline());
         consider(self.pacing_deadline);
+        if self.cfg.watchdog {
+            // The watchdog only schedules a wake while there is work it
+            // could give up on; a quiescent connection stays silent so
+            // unfaulted runs still end in the Idle outcome.
+            if self.hs != Handshake::Established {
+                consider(Some(self.started_at + self.cfg.handshake_timeout));
+            } else if !self.is_quiescent() {
+                consider(Some(self.last_progress + self.cfg.idle_timeout));
+            }
+        }
         t
     }
 
     fn on_wakeup(&mut self, now: Time) {
+        self.check_watchdog(now);
+        if self.gave_up {
+            return;
+        }
         if let Some(d) = self.pacing_deadline {
             if now >= d {
                 self.pacing_deadline = None;
@@ -812,7 +949,14 @@ impl Connection for QuicConnection {
                     LossTimer::Rto => {
                         self.stats.rto_count += 1;
                         self.in_rto_state = true;
-                        let lost = self.sent.declare_oldest_lost(2);
+                        // A repeated timeout with no ack in between means
+                        // the whole flight is gone (link outage), not a
+                        // stray tail drop: declare everything lost so the
+                        // requeued data isn't forever gated by a flight
+                        // full of dead packets. First RTOs keep the
+                        // conservative oldest-2 declaration.
+                        let cap = if self.rto_backoff > 0 { usize::MAX } else { 2 };
+                        let lost = self.sent.declare_oldest_lost(cap);
                         for pkt in &lost {
                             self.requeue_lost(pkt);
                         }
@@ -869,7 +1013,10 @@ impl Connection for QuicConnection {
     }
 
     fn is_quiescent(&self) -> bool {
-        !self.sent.has_retransmittable() && self.hs_queue.is_empty() && !self.stream_data_pending()
+        self.gave_up
+            || (!self.sent.has_retransmittable()
+                && self.hs_queue.is_empty()
+                && !self.stream_data_pending())
     }
 
     fn stats(&self) -> ConnStats {
@@ -886,5 +1033,9 @@ impl Connection for QuicConnection {
 
     fn srtt(&self) -> Dur {
         self.rtt.srtt()
+    }
+
+    fn error(&self) -> Option<ConnError> {
+        self.error
     }
 }

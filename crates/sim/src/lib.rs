@@ -13,6 +13,7 @@
 //! rounds, statistical significance gates — exactly repeatable here.
 
 pub mod device;
+pub mod fault;
 pub mod link;
 pub mod packet;
 pub mod rng;
@@ -22,6 +23,9 @@ pub mod time;
 pub mod world;
 
 pub use device::{DeviceCpu, DeviceProfile};
+pub use fault::{
+    FaultDir, FaultEvent, FaultKind, FaultPlan, GeChain, GeParams, LinkFault, PeerSide,
+};
 pub use link::{DropKind, Jitter, LinkConfig, LinkDir, LinkStats, ReorderSpec, Verdict};
 // The payload pool moved down into `longlook-wire` (the wire formats need
 // it); re-exported here so `longlook_sim::pool::PayloadPool` keeps working.

@@ -17,6 +17,7 @@
 //! * **netem reorder**: an explicit hold-back model (probability +
 //!   extra delay) used for the cellular profiles of Table 5.
 
+use crate::fault::{GeChain, LinkFault};
 use crate::rng::SimRng;
 use crate::schedule::RateSchedule;
 use crate::time::{transmission_delay, Dur, Time};
@@ -65,6 +66,10 @@ pub struct LinkConfig {
     pub buffer_bytes: u64,
     /// Token-bucket burst allowance in bytes.
     pub burst_bytes: u64,
+    /// Scheduled fault injection for this direction (see [`crate::fault`]).
+    /// `None` — the default everywhere — keeps the transit path and its
+    /// RNG stream byte-identical to a build without the fault layer.
+    pub fault: Option<LinkFault>,
 }
 
 impl LinkConfig {
@@ -78,6 +83,7 @@ impl LinkConfig {
             reorder: None,
             buffer_bytes: u64::MAX,
             burst_bytes: 0,
+            fault: None,
         }
     }
 
@@ -95,6 +101,7 @@ impl LinkConfig {
             reorder: None,
             buffer_bytes: bdp.max(64 * 1024),
             burst_bytes: 16 * 1024,
+            fault: None,
         }
     }
 
@@ -122,6 +129,12 @@ impl LinkConfig {
         self
     }
 
+    /// Builder-style: attach a fault-injection view for this direction.
+    pub fn with_fault(mut self, fault: Option<LinkFault>) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Rough upper bound on packets simultaneously in flight through this
     /// direction (drop-tail queue plus propagation), used by
     /// [`crate::World`] to pre-size its event queue. A hint only — it
@@ -142,6 +155,13 @@ pub enum DropKind {
     Random,
     /// Drop-tail queue overflow (congestion loss).
     Overflow,
+    /// Link outage (fault-injected blackout or flap down-phase).
+    Blackout,
+    /// Gilbert–Elliott burst loss (fault-injected).
+    Burst,
+    /// Corruption (fault-injected): the packet is dropped whole, as a
+    /// checksum failure would — links never forge bytes.
+    Corrupt,
 }
 
 /// Outcome of offering a packet to the link.
@@ -164,6 +184,14 @@ pub struct LinkStats {
     pub random_drops: u64,
     /// Queue-overflow losses.
     pub overflow_drops: u64,
+    /// Fault-injected outage drops (blackouts and flap down-phases).
+    pub blackout_drops: u64,
+    /// Fault-injected Gilbert–Elliott burst losses.
+    pub burst_drops: u64,
+    /// Fault-injected corruption drops.
+    pub corrupt_drops: u64,
+    /// Fault-injected duplicate deliveries scheduled.
+    pub dup_copies: u64,
     /// Packets whose scheduled arrival precedes that of an earlier packet
     /// (i.e. delivered out of order).
     pub reordered: u64,
@@ -179,7 +207,12 @@ impl LinkStats {
         if self.offered == 0 {
             0.0
         } else {
-            (self.random_drops + self.overflow_drops) as f64 / self.offered as f64
+            let drops = self.random_drops
+                + self.overflow_drops
+                + self.blackout_drops
+                + self.burst_drops
+                + self.corrupt_drops;
+            drops as f64 / self.offered as f64
         }
     }
 
@@ -214,6 +247,12 @@ pub struct LinkDir {
     token_time: Time,
     /// Latest scheduled arrival so far (reorder detection).
     max_sched_arrival: Time,
+    /// Gilbert–Elliott chain state (stepped only inside an active
+    /// burst-loss fault window).
+    ge: GeChain,
+    /// Arrival time of a fault-injected duplicate of the packet just
+    /// delivered; the world drains this right after `transit`.
+    pending_dup: Option<Time>,
     stats: LinkStats,
 }
 
@@ -228,6 +267,8 @@ impl LinkDir {
             tokens,
             token_time: Time::ZERO,
             max_sched_arrival: Time::ZERO,
+            ge: GeChain::default(),
+            pending_dup: None,
             stats: LinkStats::default(),
         }
     }
@@ -237,15 +278,45 @@ impl LinkDir {
     pub fn transit(&mut self, now: Time, wire_size: u32) -> Verdict {
         self.stats.offered += 1;
 
+        // Fault checks precede every RNG draw so that outside an active
+        // window (or with no fault attached) the draw sequence is
+        // byte-identical to an unfaulted link. Check order is part of the
+        // determinism contract: outage (no draw), base loss draw, burst
+        // draw, corruption draw, then the normal shaping/jitter path.
+        if let Some(f) = &self.cfg.fault {
+            if f.down(now) {
+                self.stats.blackout_drops += 1;
+                return Verdict::Dropped(DropKind::Blackout);
+            }
+        }
+
         if self.rng.chance(self.cfg.loss) {
             self.stats.random_drops += 1;
             return Verdict::Dropped(DropKind::Random);
         }
 
+        if let Some(ge_params) = self.cfg.fault.as_ref().and_then(|f| f.ge(now)) {
+            if self.ge.step(&mut self.rng, &ge_params) {
+                self.stats.burst_drops += 1;
+                return Verdict::Dropped(DropKind::Burst);
+            }
+        }
+
+        let corrupt_p = self.cfg.fault.as_ref().map_or(0.0, |f| f.corrupt_prob(now));
+        if corrupt_p > 0.0 && self.rng.chance(corrupt_p) {
+            self.stats.corrupt_drops += 1;
+            return Verdict::Dropped(DropKind::Corrupt);
+        }
+
+        let (rate_factor, buffer_factor) = match &self.cfg.fault {
+            Some(f) => (f.rate_factor(now), f.buffer_factor(now)),
+            None => (1.0, 1.0),
+        };
+
         let depart = match &self.cfg.rate {
             None => now,
             Some(schedule) => {
-                let rate = schedule.rate_at(now);
+                let rate = schedule.rate_at(now) * rate_factor;
                 // Refill the token bucket.
                 let elapsed = now.saturating_since(self.token_time).as_secs_f64();
                 self.tokens = (self.tokens + elapsed * rate / 8.0).min(self.cfg.burst_bytes as f64);
@@ -261,7 +332,8 @@ impl LinkDir {
                     // Fluid queue: estimate the backlog and drop-tail it.
                     let backlog_bytes =
                         self.backlog_end.saturating_since(now).as_secs_f64() * rate / 8.0;
-                    if backlog_bytes + wire_size as f64 > self.cfg.buffer_bytes as f64 {
+                    let limit = self.cfg.buffer_bytes as f64 * buffer_factor;
+                    if backlog_bytes + wire_size as f64 > limit {
                         self.stats.overflow_drops += 1;
                         return Verdict::Dropped(DropKind::Overflow);
                     }
@@ -307,7 +379,24 @@ impl LinkDir {
         self.stats.delivered += 1;
         self.stats.bytes_delivered += wire_size as u64;
         self.stats.total_latency_ns += (arrival - now).as_nanos() as u128;
+
+        // Fault-injected duplication: schedule a copy at the same arrival
+        // instant (delivered after the original — queue order is FIFO at
+        // equal times). The draw happens only inside an active window.
+        let dup_p = self.cfg.fault.as_ref().map_or(0.0, |f| f.dup_prob(now));
+        if dup_p > 0.0 && self.rng.chance(dup_p) {
+            self.pending_dup = Some(arrival);
+            self.stats.dup_copies += 1;
+        }
+
         Verdict::DeliverAt(arrival)
+    }
+
+    /// Arrival time for a fault-injected duplicate of the packet whose
+    /// `transit` verdict was just returned, if one was drawn. The caller
+    /// must drain this after every delivering `transit` call.
+    pub fn take_dup_arrival(&mut self) -> Option<Time> {
+        self.pending_dup.take()
     }
 
     /// Estimated queue occupancy in bytes at `now`.
@@ -386,6 +475,7 @@ mod tests {
             reorder: None,
             buffer_bytes: 1 << 20,
             burst_bytes: 3000,
+            fault: None,
         };
         let mut l = mk(cfg);
         // Two packets fit in the bucket: both depart immediately.
@@ -408,6 +498,7 @@ mod tests {
             reorder: None,
             buffer_bytes: 3000,
             burst_bytes: 0,
+            fault: None,
         };
         let mut l = mk(cfg);
         let mut drops = 0;
@@ -433,6 +524,7 @@ mod tests {
             reorder: None,
             buffer_bytes: 1 << 20,
             burst_bytes: 0,
+            fault: None,
         };
         let mut l = mk(cfg);
         for _ in 0..8 {
@@ -512,6 +604,7 @@ mod tests {
             reorder: None,
             buffer_bytes: 1 << 20,
             burst_bytes: 0,
+            fault: None,
         };
         let mut l = mk(cfg);
         let a_slow = match l.transit(Time::ZERO, 1000) {
@@ -534,5 +627,171 @@ mod tests {
             l.transit(Time::ZERO + Dur::from_millis(i), 100);
         }
         assert_eq!(l.stats().mean_latency(), Dur::from_millis(7));
+    }
+
+    mod fault_hooks {
+        use super::*;
+        use crate::fault::{FaultDir, FaultEvent, FaultKind, GeParams, LinkFault};
+
+        fn window(at_ms: u64, dur_ms: u64, kind: FaultKind) -> LinkFault {
+            LinkFault::from_events(vec![FaultEvent {
+                at: Time::ZERO + Dur::from_millis(at_ms),
+                dur: Dur::from_millis(dur_ms),
+                dir: FaultDir::Both,
+                kind,
+            }])
+        }
+
+        fn t(ms: u64) -> Time {
+            Time::ZERO + Dur::from_millis(ms)
+        }
+
+        #[test]
+        fn blackout_drops_everything_in_window() {
+            let cfg = LinkConfig::ideal(Dur::from_millis(5)).with_fault(Some(window(
+                10,
+                20,
+                FaultKind::Blackout,
+            )));
+            let mut l = mk(cfg);
+            assert!(matches!(l.transit(t(5), 100), Verdict::DeliverAt(_)));
+            assert_eq!(l.transit(t(10), 100), Verdict::Dropped(DropKind::Blackout));
+            assert_eq!(l.transit(t(29), 100), Verdict::Dropped(DropKind::Blackout));
+            assert!(matches!(l.transit(t(30), 100), Verdict::DeliverAt(_)));
+            assert_eq!(l.stats().blackout_drops, 2);
+            assert!(l.stats().loss_rate() > 0.0);
+        }
+
+        #[test]
+        fn burst_loss_tracks_stationary_rate() {
+            let p = GeParams {
+                p_enter_pm: 100,
+                p_exit_pm: 200,
+                loss_good_pm: 0,
+                loss_bad_pm: 800,
+            };
+            let cfg = LinkConfig::ideal(Dur::from_millis(1)).with_fault(Some(window(
+                0,
+                1_000_000,
+                FaultKind::BurstLoss(p),
+            )));
+            let mut l = mk(cfg);
+            for i in 0..30_000u64 {
+                l.transit(Time::ZERO + Dur::from_micros(i * 20), 500);
+            }
+            let rate = l.stats().loss_rate();
+            let stat = p.stationary_loss();
+            assert!(
+                (rate - stat).abs() < 0.03,
+                "burst loss {rate} vs stationary {stat}"
+            );
+            assert_eq!(l.stats().random_drops, 0);
+        }
+
+        #[test]
+        fn corruption_is_a_typed_whole_packet_drop() {
+            let cfg = LinkConfig::ideal(Dur::from_millis(1)).with_fault(Some(window(
+                0,
+                10_000,
+                FaultKind::Corrupt { prob_pm: 1000 },
+            )));
+            let mut l = mk(cfg);
+            assert_eq!(l.transit(t(1), 900), Verdict::Dropped(DropKind::Corrupt));
+            assert_eq!(l.stats().corrupt_drops, 1);
+        }
+
+        #[test]
+        fn duplication_side_channel() {
+            let cfg = LinkConfig::ideal(Dur::from_millis(4)).with_fault(Some(window(
+                0,
+                10_000,
+                FaultKind::Duplicate { prob_pm: 1000 },
+            )));
+            let mut l = mk(cfg);
+            let arrival = match l.transit(t(0), 700) {
+                Verdict::DeliverAt(a) => a,
+                v => panic!("{v:?}"),
+            };
+            assert_eq!(l.take_dup_arrival(), Some(arrival));
+            assert_eq!(l.take_dup_arrival(), None, "drained");
+            assert_eq!(l.stats().dup_copies, 1);
+        }
+
+        #[test]
+        fn bandwidth_cliff_slows_serialization() {
+            // 12 Mbps halved -> 1500 B takes 2 ms instead of 1.
+            let mut cfg =
+                LinkConfig::shaped(RateSchedule::Fixed(12e6), Dur::ZERO, Dur::from_millis(36));
+            cfg.burst_bytes = 0;
+            cfg.fault = Some(window(
+                0,
+                10_000,
+                FaultKind::BandwidthCliff { factor_pm: 500 },
+            ));
+            let mut l = mk(cfg);
+            match l.transit(t(0), 1500) {
+                Verdict::DeliverAt(a) => assert_eq!(a, t(2)),
+                v => panic!("{v:?}"),
+            }
+        }
+
+        #[test]
+        fn buffer_shrink_forces_overflow() {
+            let cfg = LinkConfig {
+                rate: Some(RateSchedule::Fixed(8e6)),
+                delay: Dur::ZERO,
+                jitter: Jitter::None,
+                loss: 0.0,
+                reorder: None,
+                buffer_bytes: 64 * 1024,
+                burst_bytes: 0,
+                fault: Some(window(0, 10_000, FaultKind::BufferShrink { factor_pm: 20 })),
+            };
+            let mut l = mk(cfg);
+            let mut overflows = 0;
+            for _ in 0..10 {
+                if let Verdict::Dropped(DropKind::Overflow) = l.transit(t(0), 1500) {
+                    overflows += 1;
+                }
+            }
+            assert!(overflows > 0, "shrunk buffer (~1.3KB) must drop-tail");
+        }
+
+        /// The zero-cost-when-off contract at the link level: a fault view
+        /// whose windows lie entirely in the future leaves the verdict
+        /// sequence — including every RNG draw — byte-identical to a link
+        /// with no fault attached.
+        #[test]
+        fn inactive_fault_is_rng_invisible() {
+            let base = LinkConfig::shaped(
+                RateSchedule::Fixed(10e6),
+                Dur::from_millis(5),
+                Dur::from_millis(36),
+            )
+            .with_loss(0.05)
+            .with_jitter(Jitter::Uniform(Dur::from_millis(2)));
+            let far = window(
+                1_000_000,
+                1_000,
+                FaultKind::BurstLoss(GeParams {
+                    p_enter_pm: 500,
+                    p_exit_pm: 500,
+                    loss_good_pm: 100,
+                    loss_bad_pm: 900,
+                }),
+            );
+            let mut plain = LinkDir::new(base.clone(), SimRng::new(42));
+            let mut faulted = LinkDir::new(base.with_fault(Some(far)), SimRng::new(42));
+            for i in 0..5000u64 {
+                let now = Time::ZERO + Dur::from_micros(i * 120);
+                assert_eq!(
+                    plain.transit(now, 1200),
+                    faulted.transit(now, 1200),
+                    "verdict diverged at packet {i}"
+                );
+                assert_eq!(faulted.take_dup_arrival(), None);
+            }
+            assert_eq!(plain.stats().random_drops, faulted.stats().random_drops);
+        }
     }
 }

@@ -97,6 +97,10 @@ pub struct World {
     scratch_out: Vec<Packet>,
     /// Scratch wake-request buffer, reused like `scratch_out`.
     scratch_wakes: Vec<Time>,
+    /// Fault-injected peer-stall windows: events addressed to `node`
+    /// during `[from, until)` are deferred to `until`. Empty in every
+    /// unfaulted run, so the per-event check is a length test.
+    stalls: Vec<(NodeId, Time, Time)>,
     /// Debug-build cell-ownership tag (see [`crate::rng::IsolationTag`]):
     /// a `World` shared across experiment cells is caught even before any
     /// of its RNG streams draw.
@@ -123,6 +127,7 @@ impl World {
             events_processed: 0,
             scratch_out: Vec::new(),
             scratch_wakes: Vec::new(),
+            stalls: Vec::new(),
             tag: IsolationTag::default(),
         }
     }
@@ -166,6 +171,26 @@ impl World {
     /// Schedule a bootstrap wakeup so the node can start transmitting.
     pub fn kick(&mut self, node: NodeId) {
         self.schedule_wake(node, self.now);
+    }
+
+    /// Freeze `node` over `[from, until)`: every event addressed to it in
+    /// that window (packets and wakeups alike) is deferred to `until`.
+    /// Models a fault-injected peer stall — a suspended VM, a GC'd or
+    /// swapped-out process — without touching agent code.
+    pub fn stall_node(&mut self, node: NodeId, from: Time, until: Time) {
+        if until > from {
+            self.stalls.push((node, from, until));
+        }
+    }
+
+    /// The deferral target if `node` is stalled at `t`: the latest `until`
+    /// among windows covering `t` (windows may overlap).
+    fn stall_until(&self, node: NodeId, t: Time) -> Option<Time> {
+        self.stalls
+            .iter()
+            .filter(|&&(n, from, until)| n == node && from <= t && t < until)
+            .map(|&(_, _, until)| until)
+            .max()
     }
 
     /// Schedule a Wake for `node` at `at`, deduplicating against any
@@ -251,6 +276,28 @@ impl World {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.events_processed += 1;
+        if !self.stalls.is_empty() {
+            let target = match &ev {
+                Ev::LinkOut(pkt) | Ev::Deliver(pkt) => pkt.dst,
+                Ev::Wake(node) => *node,
+            };
+            if let Some(until) = self.stall_until(target, at) {
+                // Defer to the window end (half-open, so the re-queued
+                // event at `until` is not re-stalled by the same window).
+                // A deferred Wake must clear the dedup marker and re-arm
+                // through schedule_wake, or later wakes would be lost.
+                match ev {
+                    Ev::Wake(node) => {
+                        if self.nodes[node.0 as usize].pending_wake == Some(at) {
+                            self.nodes[node.0 as usize].pending_wake = None;
+                        }
+                        self.schedule_wake(node, until);
+                    }
+                    deferred => self.push(until, deferred),
+                }
+                return true;
+            }
+        }
         match ev {
             Ev::LinkOut(pkt) => {
                 // Charge the destination's CPU, then deliver.
@@ -348,8 +395,20 @@ impl World {
             .links
             .get_mut(&(pkt.src, pkt.dst))
             .unwrap_or_else(|| panic!("no link {:?} -> {:?}", pkt.src, pkt.dst));
-        match link.transit(self.now, pkt.wire_size) {
-            Verdict::DeliverAt(at) => self.push(at, Ev::LinkOut(pkt)),
+        let verdict = link.transit(self.now, pkt.wire_size);
+        let dup_at = link.take_dup_arrival();
+        match verdict {
+            Verdict::DeliverAt(at) => {
+                if let Some(dup_at) = dup_at {
+                    // Fault-injected duplicate: a cloned packet arriving
+                    // right behind the original (FIFO at equal times).
+                    let copy = pkt.clone();
+                    self.push(at, Ev::LinkOut(pkt));
+                    self.push(dup_at, Ev::LinkOut(copy));
+                } else {
+                    self.push(at, Ev::LinkOut(pkt));
+                }
+            }
             Verdict::Dropped(_) => {} // the network eats it; transports recover
         }
     }
@@ -571,6 +630,40 @@ mod tests {
         w.kick(n);
         assert_eq!(w.run_until(Time::MAX), RunOutcome::Stopped);
         assert_eq!(w.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn stalled_node_defers_packets_and_wakes() {
+        let (mut w, a, b) = two_node_world(Dur::from_millis(1));
+        w.stall_node(b, Time::ZERO, Time::ZERO + Dur::from_millis(50));
+        w.kick(a);
+        w.kick(b);
+        w.run_until(Time::ZERO + Dur::from_millis(200));
+        let echo_b = w.agent::<Echo>(b);
+        assert!(
+            echo_b.wakes >= 1,
+            "deferred wake must still fire (no livelock)"
+        );
+        assert!(!echo_b.received.is_empty());
+        // a's first packet would arrive at ~1ms; the stall pushes it to 50ms.
+        assert!(
+            echo_b.received[0].0 >= Time::ZERO + Dur::from_millis(50),
+            "delivery not deferred: {:?}",
+            echo_b.received[0].0
+        );
+        // After the window everything flows: a got echoes back.
+        assert!(!w.agent::<Echo>(a).received.is_empty());
+    }
+
+    #[test]
+    fn stall_of_one_node_leaves_peer_running() {
+        let (mut w, a, b) = two_node_world(Dur::from_millis(1));
+        w.stall_node(b, Time::ZERO, Time::ZERO + Dur::from_millis(30));
+        w.kick(a);
+        w.run_until(Time::ZERO + Dur::from_millis(10));
+        // a woke and sent normally; b has processed nothing yet.
+        assert_eq!(w.agent::<Echo>(a).wakes, 1);
+        assert!(w.agent::<Echo>(b).received.is_empty());
     }
 
     #[test]

@@ -85,6 +85,7 @@ proptest! {
             reorder: None,
             buffer_bytes: buffer_kb * 1024,
             burst_bytes: 0,
+            fault: None,
         };
         let mut link = LinkDir::new(cfg, SimRng::new(4));
         for &size in &offered {
@@ -141,6 +142,7 @@ proptest! {
             reorder: None,
             buffer_bytes: u64::MAX,
             burst_bytes: burst_kb * 1024,
+            fault: None,
         };
         let mut link = LinkDir::new(cfg, SimRng::new(5));
         let mut cum_bytes = 0u64;
@@ -177,6 +179,7 @@ proptest! {
             reorder: None,
             buffer_bytes: buffer_kb * 1024,
             burst_bytes: 0,
+            fault: None,
         };
         let mut link = LinkDir::new(cfg, SimRng::new(6));
         let mut now = Time::ZERO;

@@ -21,7 +21,9 @@ use longlook_sim::time::{Dur, Time};
 use longlook_sim::{PayloadPool, WireMode};
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
-use longlook_transport::conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD};
+use longlook_transport::conn::{
+    AppEvent, ConnError, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD,
+};
 use longlook_transport::cubic::{Cubic, CubicConfig};
 use longlook_transport::rtt::RttEstimator;
 use std::collections::VecDeque;
@@ -59,6 +61,21 @@ pub struct TcpConfig {
     pub syn_rto: Dur,
     /// Model TLS on top (HTTPS); disable for a raw-TCP proxy leg.
     pub tls: bool,
+    /// Arm the connection watchdog: give up with a typed
+    /// [`longlook_transport::ConnError`] when the handshake (SYN + TLS)
+    /// exceeds `handshake_timeout`, the SYN retry budget is exhausted, or
+    /// an established connection sits idle with outstanding work past
+    /// `idle_timeout`. Off by default so unfaulted runs behave exactly as
+    /// before; the testbed arms it whenever a fault plan is attached.
+    pub watchdog: bool,
+    /// Handshake deadline when the watchdog is armed.
+    pub handshake_timeout: Dur,
+    /// Idle deadline when the watchdog is armed.
+    pub idle_timeout: Dur,
+    /// SYN retransmission budget before the armed watchdog declares
+    /// `HandshakeTimeout` (Linux `tcp_syn_retries` default). Ignored when
+    /// the watchdog is off — the historical model retried forever.
+    pub max_syn_retries: u32,
 }
 
 impl Default for TcpConfig {
@@ -72,6 +89,10 @@ impl Default for TcpConfig {
             initial_rtt: Dur::from_millis(100),
             syn_rto: Dur::from_secs(1),
             tls: true,
+            watchdog: false,
+            handshake_timeout: Dur::from_secs(30),
+            idle_timeout: Dur::from_secs(60),
+            max_syn_retries: 6,
         }
     }
 }
@@ -129,6 +150,14 @@ pub struct TcpConnection {
     tls_established: bool,
     handshake_done_emitted: bool,
     app_limited: bool,
+
+    /// Construction instant: base for the handshake watchdog deadline.
+    started_at: Time,
+    /// Last inbound segment: base for the idle watchdog deadline.
+    last_progress: Time,
+    /// Watchdog tripped: the connection stopped trying.
+    gave_up: bool,
+    error: Option<ConnError>,
 
     events: VecDeque<AppEvent>,
     stats: ConnStats,
@@ -191,6 +220,10 @@ impl TcpConnection {
             tls_established: false,
             handshake_done_emitted: false,
             app_limited: false,
+            started_at: now,
+            last_progress: now,
+            gave_up: false,
+            error: None,
             events: VecDeque::new(),
             stats: ConnStats::default(),
             cwnd_log: vec![(now, 0)],
@@ -368,6 +401,33 @@ impl TcpConnection {
     pub fn dupthresh(&self) -> u32 {
         self.scoreboard.dupthresh()
     }
+
+    /// Watchdog trip: stop trying, clear every pending timer and control
+    /// flag so the connection reads as quiescent, and surface the error.
+    fn give_up(&mut self, err: ConnError) {
+        self.gave_up = true;
+        self.error = Some(err);
+        self.syn_pending = false;
+        self.synack_pending = false;
+        self.syn_deadline = None;
+        self.rto_deadline = None;
+    }
+
+    /// Check the armed watchdog at `now` (see the QUIC twin): the
+    /// handshake deadline covers SYN + TLS; established connections time
+    /// out on inbound silence only while work is outstanding.
+    fn check_watchdog(&mut self, now: Time) {
+        if !self.cfg.watchdog || self.gave_up {
+            return;
+        }
+        if !self.tls_established {
+            if now >= self.started_at + self.cfg.handshake_timeout {
+                self.give_up(ConnError::HandshakeTimeout);
+            }
+        } else if !self.is_quiescent() && now >= self.last_progress + self.cfg.idle_timeout {
+            self.give_up(ConnError::IdleTimeout);
+        }
+    }
 }
 
 impl Connection for TcpConnection {
@@ -391,6 +451,10 @@ impl Connection for TcpConnection {
             // an undecodable segment.
             Payload::Quic(_) => return,
         };
+        if self.gave_up {
+            return;
+        }
+        self.last_progress = now;
 
         // Handshake control.
         if seg.flags & flags::SYN != 0 {
@@ -475,6 +539,9 @@ impl Connection for TcpConnection {
     }
 
     fn poll_transmit(&mut self, now: Time) -> Option<Transmit> {
+        if self.gave_up {
+            return None;
+        }
         // 1. TCP handshake control segments.
         if self.syn_pending {
             self.syn_pending = false;
@@ -532,6 +599,9 @@ impl Connection for TcpConnection {
     }
 
     fn next_wakeup(&self) -> Option<Time> {
+        if self.gave_up {
+            return None;
+        }
         let mut t: Option<Time> = None;
         let mut consider = |cand: Option<Time>| {
             if let Some(c) = cand {
@@ -544,12 +614,31 @@ impl Connection for TcpConnection {
         consider(self.rto_deadline);
         consider(self.syn_deadline);
         consider(self.receiver.deadline());
+        if self.cfg.watchdog {
+            // Only schedules a wake while there is work to give up on, so
+            // unfaulted runs still end in the Idle outcome.
+            if !self.tls_established {
+                consider(Some(self.started_at + self.cfg.handshake_timeout));
+            } else if !self.is_quiescent() {
+                consider(Some(self.last_progress + self.cfg.idle_timeout));
+            }
+        }
         t
     }
 
     fn on_wakeup(&mut self, now: Time) {
+        self.check_watchdog(now);
+        if self.gave_up {
+            return;
+        }
         if let Some(d) = self.syn_deadline {
             if now >= d && self.state == TcpState::SynSent {
+                if self.cfg.watchdog && self.syn_retries >= self.cfg.max_syn_retries {
+                    // SYN retry budget exhausted: give up rather than
+                    // back off forever into a blackout.
+                    self.give_up(ConnError::HandshakeTimeout);
+                    return;
+                }
                 self.syn_pending = true;
                 self.syn_retries += 1;
                 self.syn_deadline = Some(now + self.cfg.syn_rto.saturating_mul(2));
@@ -594,9 +683,10 @@ impl Connection for TcpConnection {
     }
 
     fn is_quiescent(&self) -> bool {
-        !self.scoreboard.has_outstanding()
-            && self.snd_nxt >= self.mux.stream_len().min(self.sendable_limit())
-            && self.scoreboard.lost_ranges().is_empty()
+        self.gave_up
+            || (!self.scoreboard.has_outstanding()
+                && self.snd_nxt >= self.mux.stream_len().min(self.sendable_limit())
+                && self.scoreboard.lost_ranges().is_empty())
     }
 
     fn stats(&self) -> ConnStats {
@@ -613,5 +703,9 @@ impl Connection for TcpConnection {
 
     fn srtt(&self) -> Dur {
         self.rtt.srtt()
+    }
+
+    fn error(&self) -> Option<ConnError> {
+        self.error
     }
 }

@@ -8,7 +8,7 @@
 //! [`StateTrace`] feeds `longlook-statemachine` directly.
 
 use longlook_sim::time::{Dur, Time};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// QUIC congestion-control states, exactly Table 3 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -141,6 +141,93 @@ impl StateTrace {
     pub fn labels(&self) -> Vec<&'static str> {
         self.visits.iter().map(|&(_, s)| s).collect()
     }
+}
+
+/// Cubic's legal transition graph (paper Fig 3a / Table 3): `Init` is
+/// entered exactly once at handshake and never again; loss states are
+/// reachable from every established state; `CongestionAvoidanceMaxed` is
+/// an excursion from/into congestion avoidance. Anything not listed —
+/// above all `* -> Init` — is a forbidden transition.
+pub fn cubic_legal_edges() -> BTreeSet<(&'static str, &'static str)> {
+    const SS: &str = "SlowStart";
+    const CA: &str = "CongestionAvoidance";
+    const CAM: &str = "CongestionAvoidanceMaxed";
+    const AL: &str = "ApplicationLimited";
+    const REC: &str = "Recovery";
+    const RTO: &str = "RetransmissionTimeout";
+    const TLP: &str = "TailLossProbe";
+    let mut edges = BTreeSet::new();
+    edges.insert(("Init", SS));
+    // Established states interleave freely (the tracker samples the
+    // connection's flags each tick), except no state ever returns to Init
+    // and loss states only appear with loss evidence (checked separately).
+    for from in [SS, CA, CAM, AL, REC, RTO, TLP] {
+        for to in [SS, CA, CAM, AL, REC, RTO, TLP] {
+            if from != to {
+                edges.insert((from, to));
+            }
+        }
+    }
+    // Slow start is only re-entered after an RTO or when the app went
+    // idle long enough to reset the window — never straight from CA.
+    edges.remove(&(CA, SS));
+    edges.remove(&(CAM, SS));
+    edges
+}
+
+/// BBR's legal graph is tiny and exact (paper Fig 3b):
+/// `Startup -> Drain -> ProbeBW <-> ProbeRTT`, nothing else — in
+/// particular Startup is never re-entered and Drain is only reached from
+/// Startup.
+pub fn bbr_legal_edges() -> BTreeSet<(&'static str, &'static str)> {
+    [
+        ("Startup", "Drain"),
+        ("Drain", "ProbeBW"),
+        ("ProbeBW", "ProbeRTT"),
+        ("ProbeRTT", "ProbeBW"),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Check one visit sequence against a legal graph: the trace must be
+/// non-empty, start in `initial`, never re-enter `initial`, and every
+/// state change must be an edge of `legal`. Returns a human-readable
+/// description of the first violation, if any — shared by the invariant
+/// test suite and the fault-injection fuzzer's CC oracle.
+pub fn check_trace_legal(
+    labels: &[&'static str],
+    legal: &BTreeSet<(&'static str, &'static str)>,
+    initial: &str,
+) -> Result<(), String> {
+    if labels.is_empty() {
+        return Err("empty trace".to_string());
+    }
+    if labels[0] != initial {
+        return Err(format!(
+            "trace starts in {} instead of {initial}",
+            labels[0]
+        ));
+    }
+    for pair in labels.windows(2) {
+        let (from, to) = (pair[0], pair[1]);
+        if from == to {
+            continue; // re-logged same state: not a transition
+        }
+        if !legal.contains(&(from, to)) {
+            return Err(format!(
+                "illegal transition {from} -> {to} (not an edge of the \
+                 paper's Fig 3 graph)"
+            ));
+        }
+    }
+    if labels
+        .windows(2)
+        .any(|pair| pair[0] != initial && pair[1] == initial)
+    {
+        return Err(format!("re-entered initial state {initial}"));
+    }
+    Ok(())
 }
 
 /// Live tracker a connection drives as its state evolves.
@@ -277,5 +364,57 @@ mod tests {
     fn bbr_labels() {
         assert_eq!(BbrState::ProbeBw.label(), "ProbeBW");
         assert_eq!(BbrState::ProbeRtt.label(), "ProbeRTT");
+    }
+
+    #[test]
+    fn legal_graph_accepts_canonical_traces() {
+        let cubic = cubic_legal_edges();
+        check_trace_legal(
+            &["Init", "SlowStart", "CongestionAvoidance", "Recovery"],
+            &cubic,
+            "Init",
+        )
+        .expect("canonical cubic trace must be legal");
+        let bbr = bbr_legal_edges();
+        check_trace_legal(
+            &["Startup", "Drain", "ProbeBW", "ProbeRTT", "ProbeBW"],
+            &bbr,
+            "Startup",
+        )
+        .expect("canonical bbr trace must be legal");
+    }
+
+    #[test]
+    fn legal_graph_rejects_violations() {
+        let cubic = cubic_legal_edges();
+        // Re-entering Init is forbidden.
+        let err = check_trace_legal(&["Init", "SlowStart", "Init"], &cubic, "Init")
+            .expect_err("Init re-entry must be illegal");
+        assert!(err.contains("Init"), "unexpected message: {err}");
+        // CA -> SlowStart is explicitly removed from the graph.
+        let err = check_trace_legal(
+            &["Init", "SlowStart", "CongestionAvoidance", "SlowStart"],
+            &cubic,
+            "Init",
+        )
+        .expect_err("CA -> SlowStart must be illegal");
+        assert!(err.contains("illegal transition"), "{err}");
+        // Wrong initial state and empty traces are violations too.
+        assert!(check_trace_legal(&["SlowStart"], &cubic, "Init").is_err());
+        assert!(check_trace_legal(&[], &cubic, "Init").is_err());
+        // BBR never re-enters Startup.
+        let bbr = bbr_legal_edges();
+        assert!(check_trace_legal(&["Startup", "Drain", "Startup"], &bbr, "Startup").is_err());
+    }
+
+    #[test]
+    fn self_loops_are_not_transitions() {
+        let bbr = bbr_legal_edges();
+        check_trace_legal(
+            &["Startup", "Startup", "Drain", "Drain", "ProbeBW"],
+            &bbr,
+            "Startup",
+        )
+        .expect("re-logged states must not count as transitions");
     }
 }

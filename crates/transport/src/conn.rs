@@ -80,6 +80,30 @@ pub struct ConnStats {
     pub max_cwnd: u64,
 }
 
+/// Terminal connection errors surfaced by the watchdog machinery. A
+/// connection that hits one of these transitions to quiescence and
+/// reports the error through [`Connection::error`]; the fault-injection
+/// oracles treat "incomplete with no error" as a livelock violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnError {
+    /// The handshake did not complete within the configured deadline
+    /// (e.g. a blackout swallowed the first flight past all retries).
+    HandshakeTimeout,
+    /// An established connection made no forward progress for the
+    /// configured idle window while work was still outstanding.
+    IdleTimeout,
+}
+
+impl ConnError {
+    /// Stable label for repro files and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConnError::HandshakeTimeout => "HandshakeTimeout",
+            ConnError::IdleTimeout => "IdleTimeout",
+        }
+    }
+}
+
 /// A transport connection as seen by the host agent and application.
 pub trait Connection {
     /// Ingest one datagram/segment from the wire.
@@ -124,6 +148,13 @@ pub trait Connection {
 
     /// Current smoothed RTT estimate (for reporting).
     fn srtt(&self) -> longlook_sim::time::Dur;
+
+    /// Terminal error, if the connection gave up (watchdog timeouts).
+    /// Default `None` keeps existing implementations and test doubles
+    /// compiling unchanged.
+    fn error(&self) -> Option<ConnError> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -27,8 +27,13 @@ pub mod rtt;
 
 pub use bbr::Bbr;
 pub use cc::{CcPhase, CongestionControl};
-pub use ccstate::{BbrState, CcState, StateTrace, StateTracker, Transition};
-pub use conn::{AppEvent, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD, UDP_OVERHEAD};
+pub use ccstate::{
+    bbr_legal_edges, check_trace_legal, cubic_legal_edges, BbrState, CcState, StateTrace,
+    StateTracker, Transition,
+};
+pub use conn::{
+    AppEvent, ConnError, ConnStats, Connection, StreamId, Transmit, TCP_OVERHEAD, UDP_OVERHEAD,
+};
 pub use cubic::{Cubic, CubicConfig};
 pub use hystart::HyStart;
 pub use pacing::Pacer;

@@ -9,6 +9,7 @@
 //! so the machine itself is pinned here.
 
 use longlook_core::prelude::*;
+use longlook_transport::ccstate::{bbr_legal_edges, check_trace_legal, cubic_legal_edges};
 use std::collections::BTreeSet;
 
 /// Scenarios spanning the regimes that reach every state family: clean
@@ -60,53 +61,6 @@ fn records_for(cc: CcKind) -> Vec<RunRecord> {
         .collect()
 }
 
-/// Cubic's legal transition graph (paper Fig 3a / Table 3): `Init` is
-/// entered exactly once at handshake and never again; loss states are
-/// reachable from every established state; `CongestionAvoidanceMaxed` is
-/// an excursion from/into congestion avoidance. Anything not listed —
-/// above all `* -> Init` — is a forbidden transition.
-fn cubic_legal() -> BTreeSet<(&'static str, &'static str)> {
-    const SS: &str = "SlowStart";
-    const CA: &str = "CongestionAvoidance";
-    const CAM: &str = "CongestionAvoidanceMaxed";
-    const AL: &str = "ApplicationLimited";
-    const REC: &str = "Recovery";
-    const RTO: &str = "RetransmissionTimeout";
-    const TLP: &str = "TailLossProbe";
-    let mut edges = BTreeSet::new();
-    edges.insert(("Init", SS));
-    // Established states interleave freely (the tracker samples the
-    // connection's flags each tick), except no state ever returns to Init
-    // and loss states only appear with loss evidence (checked separately).
-    for from in [SS, CA, CAM, AL, REC, RTO, TLP] {
-        for to in [SS, CA, CAM, AL, REC, RTO, TLP] {
-            if from != to {
-                edges.insert((from, to));
-            }
-        }
-    }
-    // Slow start is only re-entered after an RTO or when the app went
-    // idle long enough to reset the window — never straight from CA.
-    edges.remove(&(CA, SS));
-    edges.remove(&(CAM, SS));
-    edges
-}
-
-/// BBR's legal graph is tiny and exact (paper Fig 3b):
-/// `Startup -> Drain -> ProbeBW <-> ProbeRTT`, nothing else — in
-/// particular Startup is never re-entered and Drain is only reached from
-/// Startup.
-fn bbr_legal() -> BTreeSet<(&'static str, &'static str)> {
-    [
-        ("Startup", "Drain"),
-        ("Drain", "ProbeBW"),
-        ("ProbeBW", "ProbeRTT"),
-        ("ProbeRTT", "ProbeBW"),
-    ]
-    .into_iter()
-    .collect()
-}
-
 fn assert_trace_legal(
     records: &[RunRecord],
     legal: &BTreeSet<(&'static str, &'static str)>,
@@ -119,27 +73,9 @@ fn assert_trace_legal(
             .server_trace
             .as_ref()
             .unwrap_or_else(|| panic!("{cc:?} record {k} lost its server trace"));
-        let labels = trace.labels();
-        assert!(!labels.is_empty(), "{cc:?} record {k}: empty trace");
-        assert_eq!(
-            labels[0], initial,
-            "{cc:?} record {k}: trace must start in {initial}"
-        );
-        for pair in labels.windows(2) {
-            let (from, to) = (pair[0], pair[1]);
-            if from == to {
-                continue; // re-logged same state: not a transition
-            }
-            assert!(
-                legal.contains(&(from, to)),
-                "{cc:?} record {k}: illegal transition {from} -> {to} \
-                 (not an edge of the paper's Fig 3 graph)"
-            );
+        if let Err(msg) = check_trace_legal(&trace.labels(), legal, initial) {
+            panic!("{cc:?} record {k}: {msg}");
         }
-        assert!(
-            labels.iter().skip(1).all(|&l| l != initial),
-            "{cc:?} record {k}: re-entered initial state {initial}"
-        );
         traces += 1;
     }
     assert!(traces > 0, "{cc:?}: no traces collected");
@@ -151,7 +87,7 @@ fn assert_trace_legal(
 fn cubic_traces_stay_inside_legal_graph() {
     assert_trace_legal(
         &records_for(CcKind::Cubic),
-        &cubic_legal(),
+        &cubic_legal_edges(),
         "Init",
         CcKind::Cubic,
     );
@@ -162,7 +98,7 @@ fn cubic_traces_stay_inside_legal_graph() {
 fn bbr_traces_stay_inside_legal_graph() {
     assert_trace_legal(
         &records_for(CcKind::Bbr),
-        &bbr_legal(),
+        &bbr_legal_edges(),
         "Startup",
         CcKind::Bbr,
     );

@@ -15,10 +15,28 @@
 use longlook_core::prelude::*;
 use longlook_core::testbed::{FlowSpec, Testbed};
 
-/// Three deliberately different scenarios: a clean low-rate link, a lossy
-/// mid-rate link with a larger page, and a jittery high-RTT link (jitter
-/// exercises the per-packet RNG draws most heavily).
+/// Four deliberately different scenarios: a clean low-rate link, a lossy
+/// mid-rate link with a larger page, a jittery high-RTT link (jitter
+/// exercises the per-packet RNG draws most heavily), and a faulted link
+/// (flap + bandwidth cliff) that drives the deterministic fault layer and
+/// the armed watchdog through the same shard-invariance contract.
 fn scenarios() -> Vec<(&'static str, Scenario)> {
+    let fault = FaultPlan::new()
+        .with_event(FaultEvent {
+            at: Time::ZERO + Dur::from_millis(300),
+            dur: Dur::from_millis(900),
+            dir: FaultDir::Both,
+            kind: FaultKind::Flap {
+                period: Dur::from_millis(150),
+                down_pm: 400,
+            },
+        })
+        .with_event(FaultEvent {
+            at: Time::ZERO + Dur::from_millis(1500),
+            dur: Dur::from_millis(800),
+            dir: FaultDir::Down,
+            kind: FaultKind::BandwidthCliff { factor_pm: 200 },
+        });
     vec![
         (
             "clean 10Mbps / 50KB",
@@ -45,6 +63,15 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
             )
             .with_rounds(4)
             .with_seed(7003),
+        ),
+        (
+            "flap+cliff fault 10Mbps / 80KB",
+            Scenario::new(
+                NetProfile::baseline(10.0).with_fault(fault),
+                PageSpec::single(80 * 1024),
+            )
+            .with_rounds(4)
+            .with_seed(7004),
         ),
     ]
 }

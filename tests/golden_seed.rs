@@ -158,6 +158,32 @@ round 1: plt_ns=213171400 ended_ns=213171400
   trace: Init>SlowStart>ApplicationLimited>SlowStart>Recovery>CongestionAvoidance>ApplicationLimited span_ns=195429200
   cwnd_points=15";
 
+/// Zero-cost-when-off referee: attaching an *empty* `FaultPlan` arms the
+/// whole fault layer (link views, stall windows, the connection watchdog)
+/// yet must not perturb a single RunRecord field. If arming ever costs an
+/// RNG draw, an extra timer firing mid-transfer, or a reordered event tie,
+/// this test pins the drift to the fault layer instead of letting it
+/// surface as a blessed-snapshot change.
+#[test]
+fn armed_empty_fault_plan_is_invisible() {
+    for (name, sc) in [("clean", clean_scenario()), ("lossy", lossy_scenario())] {
+        let mut armed = sc.clone();
+        armed.net = armed.net.clone().with_fault(FaultPlan::new());
+        for proto in [
+            ProtoConfig::Quic(QuicConfig::default()),
+            ProtoConfig::Tcp(TcpConfig::default()),
+        ] {
+            let off = render_records(&run_records(&proto, &sc));
+            let on = render_records(&run_records(&proto, &armed));
+            assert_eq!(
+                off, on,
+                "{name} / {proto:?}: an empty fault plan changed the record \
+                 (the fault layer is not zero-cost when idle)"
+            );
+        }
+    }
+}
+
 #[test]
 fn quic_clean_matches_golden() {
     check(
