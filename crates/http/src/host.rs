@@ -294,6 +294,11 @@ pub struct ServerHost {
     rng: SimRng,
     /// Deferred responses: (due, flow, stream, object).
     pending: Vec<(Time, FlowId, StreamId, usize)>,
+    /// Reused per-service scratch (hot path: `service` runs on every
+    /// delivered packet; these keep it allocation-free in steady state).
+    scratch_due: Vec<(Time, FlowId, StreamId, usize)>,
+    scratch_flows: Vec<FlowId>,
+    scratch_completed: Vec<(StreamId, u64)>,
 }
 
 impl ServerHost {
@@ -309,6 +314,9 @@ impl ServerHost {
             app_cpu_free: Time::ZERO,
             rng: SimRng::new(seed),
             pending: Vec::new(),
+            scratch_due: Vec::new(),
+            scratch_flows: Vec::new(),
+            scratch_completed: Vec::new(),
         }
     }
 
@@ -364,20 +372,34 @@ impl ServerHost {
 
     fn service(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now;
-        // Fire deferred responses.
-        let due: Vec<(Time, FlowId, StreamId, usize)> = {
-            let (ready, later): (Vec<_>, Vec<_>) =
-                self.pending.drain(..).partition(|&(t, _, _, _)| t <= now);
-            self.pending = later;
-            ready
-        };
-        for (_, flow, stream, object) in due {
-            self.respond(flow, stream, object, now);
+        // Fire deferred responses. Split ready/later into a reused scratch
+        // buffer — same ordering as the old drain+partition, no per-event
+        // allocation.
+        if !self.pending.is_empty() {
+            let mut due = std::mem::take(&mut self.scratch_due);
+            debug_assert!(due.is_empty());
+            self.pending.retain(|&e| {
+                if e.0 <= now {
+                    due.push(e);
+                    false
+                } else {
+                    true
+                }
+            });
+            for &(_, flow, stream, object) in &due {
+                self.respond(flow, stream, object, now);
+            }
+            due.clear();
+            self.scratch_due = due;
         }
-        // Drain events on every connection.
-        let flows: Vec<FlowId> = self.conns.keys().copied().collect();
-        for flow in flows {
-            let mut completed: Vec<(StreamId, u64)> = Vec::new();
+        // Drain events on every connection (keys snapshotted into a reused
+        // buffer so responses can mutate the map mid-walk).
+        let mut flows = std::mem::take(&mut self.scratch_flows);
+        flows.clear();
+        flows.extend(self.conns.keys().copied());
+        for &flow in &flows {
+            let mut completed = std::mem::take(&mut self.scratch_completed);
+            debug_assert!(completed.is_empty());
             {
                 let slot = self.conns.get_mut(&flow).expect("iterating keys");
                 while let Some(ev) = slot.conn.poll_event() {
@@ -396,7 +418,7 @@ impl ServerHost {
                     }
                 }
             }
-            for (stream, request_len) in completed {
+            for &(stream, request_len) in &completed {
                 let Some(object) = PageSpec::decode_request(request_len) else {
                     continue;
                 };
@@ -426,7 +448,10 @@ impl ServerHost {
                     ctx.wake_at(due);
                 }
             }
+            completed.clear();
+            self.scratch_completed = completed;
         }
+        self.scratch_flows = flows;
         // Pump transmissions.
         for (flow, slot) in self.conns.iter_mut() {
             pump(slot.conn.as_mut(), ctx, slot.peer, *flow, slot.class);

@@ -8,12 +8,12 @@
 
 use crate::config::{CcKind, QuicConfig};
 use crate::recv_ack::AckTracker;
-use crate::sent::{SentPacket, SentTracker};
+use crate::sent::{SentPacket, SentStore};
 use crate::streams::{Chunk, RecvStream, SendStream};
 use crate::wire::{Frame, HandshakeKind, QuicPacket, MAX_ACK_BLOCKS, MAX_PACKET_PAYLOAD};
 use longlook_sim::packet::Payload;
 use longlook_sim::time::{Dur, Time};
-use longlook_sim::{PayloadPool, WireMode};
+use longlook_sim::{BatchMode, PayloadPool, WireMode};
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
 use longlook_transport::conn::{
@@ -78,7 +78,7 @@ pub struct QuicConnection {
     error: Option<ConnError>,
 
     next_pn: u64,
-    sent: SentTracker,
+    sent: SentStore,
     acks: AckTracker,
     rtt: RttEstimator,
     cc: Box<dyn CongestionControl>,
@@ -115,6 +115,14 @@ pub struct QuicConnection {
     wu_queue: VecDeque<(u32, u64)>,
 
     loss_timer: Option<(LossTimer, Time)>,
+    /// Batched hot path: a pending loss-timer re-arm deferred to the next
+    /// observation point (`next_wakeup`/`on_wakeup`). Re-arming is a pure
+    /// function of connection state, and every re-arm request inside one
+    /// dispatch shares the same `now`, so resolving only the *last* one
+    /// lazily yields the exact timer the eager path would have set.
+    loss_rearm_at: Option<Time>,
+    /// Batched hot path selected (`LONGLOOK_BATCH`, at construction).
+    batch: bool,
     tlp_count: u32,
     rto_backoff: u32,
     /// Probe transmission requested by the TLP timer.
@@ -134,6 +142,11 @@ pub struct QuicConnection {
     /// Recycled payload buffers (encoded path only): encoders take from
     /// here, spent received payloads are reclaimed in `on_datagram`.
     pool: PayloadPool,
+    /// Recycled `Frame` vectors: received packets donate their (drained)
+    /// frame storage, outgoing packets take it back — the vec flow
+    /// mirrors the packet flow, so a steady ack-for-data exchange builds
+    /// frames without touching the allocator.
+    spare_frames: Vec<Vec<Frame>>,
     /// Structured (typed packets in memory) vs encoded (serialize +
     /// reparse) wire path; resolved from `LONGLOOK_WIRE` at construction.
     wire_mode: WireMode,
@@ -218,7 +231,7 @@ impl QuicConnection {
             gave_up: false,
             error: None,
             next_pn: 1,
-            sent: SentTracker::default(),
+            sent: SentStore::from_env(),
             acks: AckTracker::default(),
             rtt,
             cc,
@@ -241,6 +254,8 @@ impl QuicConnection {
             pending_stream_limits: BTreeMap::new(),
             wu_queue: VecDeque::new(),
             loss_timer: None,
+            loss_rearm_at: None,
+            batch: BatchMode::from_env().is_on(),
             tlp_count: 0,
             rto_backoff: 0,
             tlp_fire: false,
@@ -254,6 +269,7 @@ impl QuicConnection {
             cwnd_log: vec![(now, 0)],
             tracker: StateTracker::new(now, initial_label),
             pool: PayloadPool::new(),
+            spare_frames: Vec::new(),
             wire_mode: WireMode::from_env(),
         }
     }
@@ -497,16 +513,36 @@ impl QuicConnection {
         }
     }
 
-    fn rearm_loss_timer(&mut self, now: Time) {
+    /// What the loss timer should be, re-armed at `now` — a pure function
+    /// of connection state, shared by the eager and lazy re-arm paths.
+    fn compute_loss_timer(&self, now: Time) -> Option<(LossTimer, Time)> {
         if !self.sent.has_retransmittable() {
-            self.loss_timer = None;
-            return;
+            return None;
         }
         if self.cfg.tlp && self.tlp_count < 2 {
-            self.loss_timer = Some((LossTimer::Tlp, now + self.rtt.tlp_timeout()));
+            Some((LossTimer::Tlp, now + self.rtt.tlp_timeout()))
         } else {
             let rto = self.rtt.rto().saturating_mul(1 << self.rto_backoff.min(6));
-            self.loss_timer = Some((LossTimer::Rto, now + rto));
+            Some((LossTimer::Rto, now + rto))
+        }
+    }
+
+    fn rearm_loss_timer(&mut self, now: Time) {
+        if self.batch {
+            // Defer: the timer is unobservable until `next_wakeup` or the
+            // next `on_wakeup`, and nothing that feeds `compute_loss_timer`
+            // changes between the last re-arm request of a dispatch and
+            // those observation points — resolving once there is exact.
+            self.loss_rearm_at = Some(now);
+        } else {
+            self.loss_timer = self.compute_loss_timer(now);
+        }
+    }
+
+    /// Apply a deferred re-arm before the timer is read mutably.
+    fn resolve_loss_timer(&mut self) {
+        if let Some(at) = self.loss_rearm_at.take() {
+            self.loss_timer = self.compute_loss_timer(at);
         }
     }
 
@@ -556,6 +592,7 @@ impl QuicConnection {
         }
         self.hs_queue.clear();
         self.loss_timer = None;
+        self.loss_rearm_at = None;
         self.pacing_deadline = None;
         self.tlp_fire = false;
     }
@@ -593,13 +630,22 @@ impl QuicConnection {
     ) -> Transmit {
         let pn = self.next_pn;
         self.next_pn += 1;
-        let wu_streams: Vec<u32> = frames
+        // Window updates are rare; only allocate the id list when one is
+        // actually aboard.
+        let has_wu = frames
             .iter()
-            .filter_map(|f| match f {
-                Frame::WindowUpdate { stream, .. } => Some(*stream),
-                _ => None,
-            })
-            .collect();
+            .any(|f| matches!(f, Frame::WindowUpdate { .. }));
+        let wu_streams: Vec<u32> = if has_wu {
+            frames
+                .iter()
+                .filter_map(|f| match f {
+                    Frame::WindowUpdate { stream, .. } => Some(*stream),
+                    _ => None,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let pkt = QuicPacket {
             conn_id: self.conn_id,
             pn,
@@ -630,7 +676,17 @@ impl QuicConnection {
         }
         let payload = match self.wire_mode {
             WireMode::Structured => Payload::Quic(pkt),
-            WireMode::Encoded => Payload::Wire(pkt.encode_with(&mut self.pool)),
+            WireMode::Encoded => {
+                // The typed packet dies here after encoding; keep its
+                // frame storage for the next build.
+                let bytes = pkt.encode_with(&mut self.pool);
+                let mut frames = pkt.frames;
+                frames.clear();
+                if self.spare_frames.len() < 8 {
+                    self.spare_frames.push(frames);
+                }
+                Payload::Wire(bytes)
+            }
         };
         Transmit { payload, wire_size }
     }
@@ -699,7 +755,8 @@ impl Connection for QuicConnection {
             self.cfg.ack_every,
             self.cfg.delayed_ack,
         );
-        for frame in pkt.frames {
+        let mut frames = pkt.frames;
+        for frame in frames.drain(..) {
             match frame {
                 Frame::Stream {
                     id,
@@ -728,6 +785,9 @@ impl Connection for QuicConnection {
                 Frame::Ping | Frame::Blocked { .. } | Frame::Close { .. } => {}
             }
         }
+        if self.spare_frames.len() < 8 {
+            self.spare_frames.push(frames);
+        }
         self.update_state(now);
     }
 
@@ -735,8 +795,10 @@ impl Connection for QuicConnection {
         if self.gave_up {
             return None;
         }
-        let mut frames: Vec<Frame> = Vec::new();
-        let mut chunks: Vec<Chunk> = Vec::new();
+        let mut frames: Vec<Frame> = self.spare_frames.pop().unwrap_or_default();
+        debug_assert!(frames.is_empty());
+        let mut chunks: Vec<Chunk> = self.sent.take_spare_chunks();
+        debug_assert!(chunks.is_empty());
         let mut used = 0u32;
         let mut retransmittable = false;
 
@@ -813,6 +875,9 @@ impl Connection for QuicConnection {
                 let mut sent_any_data = false;
                 let mut data_was_available = false;
                 let mut pacing_blocked = false;
+                // cc state is constant within one poll, so the pacing rate
+                // is too; compute it at most once (identical f64 value).
+                let mut cached_rate: Option<f64> = None;
                 loop {
                     let budget = Self::frame_budget(used).saturating_sub(18);
                     if budget < 16 {
@@ -825,7 +890,14 @@ impl Connection for QuicConnection {
                         break;
                     }
                     // Pacing gate applies to data only.
-                    let rate = self.cc.pacing_rate_bps(&self.rtt);
+                    let rate = match cached_rate {
+                        Some(r) => r,
+                        None => {
+                            let r = self.cc.pacing_rate_bps(&self.rtt);
+                            cached_rate = Some(r);
+                            r
+                        }
+                    };
                     let ready = self.pacer.earliest_send(now, self.cfg.mss, rate);
                     if ready > now {
                         self.pacing_deadline = Some(ready);
@@ -834,11 +906,12 @@ impl Connection for QuicConnection {
                     }
                     // Connection-level flow control for fresh data.
                     let conn_room = self.conn_send_limit.saturating_sub(self.conn_fresh_sent);
-                    // Round-robin across streams with pending chunks.
+                    // Round-robin across streams with pending chunks
+                    // (in-place iteration, no key-list allocation; the
+                    // fresh-sent update is deferred past the borrow).
                     let mut got: Option<Chunk> = None;
-                    let ids: Vec<u32> = self.send_streams.keys().copied().collect();
-                    for id in ids {
-                        let s = self.send_streams.get_mut(&id).expect("iterating keys");
+                    let mut fresh_sent = 0u64;
+                    for s in self.send_streams.values_mut() {
                         let had_retransmit = s.has_retransmit_pending();
                         let fresh_ok = s.sendable_new().min(conn_room) > 0 || s.fin_pending();
                         if !had_retransmit && !fresh_ok {
@@ -853,12 +926,13 @@ impl Connection for QuicConnection {
                         };
                         if let Some(chunk) = s.next_chunk(cap) {
                             if !had_retransmit {
-                                self.conn_fresh_sent += chunk.len as u64;
+                                fresh_sent = chunk.len as u64;
                             }
                             got = Some(chunk);
                             break;
                         }
                     }
+                    self.conn_fresh_sent += fresh_sent;
                     match got {
                         Some(chunk) => {
                             let f = Frame::Stream {
@@ -892,6 +966,11 @@ impl Connection for QuicConnection {
 
         self.update_state(now);
         if frames.is_empty() {
+            // Nothing to send: hand the recycled storage straight back.
+            if self.spare_frames.len() < 8 {
+                self.spare_frames.push(frames);
+            }
+            self.sent.give_spare_chunks(chunks);
             return None;
         }
         Some(self.finalize_packet(frames, chunks, handshake, retransmittable, now))
@@ -910,7 +989,13 @@ impl Connection for QuicConnection {
                 });
             }
         };
-        consider(self.loss_timer.map(|(_, at)| at));
+        // A deferred re-arm resolves here without mutation: the pure
+        // computation sees exactly the state the eager path saw.
+        let loss_timer = match self.loss_rearm_at {
+            Some(at) => self.compute_loss_timer(at),
+            None => self.loss_timer,
+        };
+        consider(loss_timer.map(|(_, at)| at));
         consider(self.acks.deadline());
         consider(self.pacing_deadline);
         if self.cfg.watchdog {
@@ -927,6 +1012,7 @@ impl Connection for QuicConnection {
     }
 
     fn on_wakeup(&mut self, now: Time) {
+        self.resolve_loss_timer();
         self.check_watchdog(now);
         if self.gave_up {
             return;

@@ -55,6 +55,23 @@ impl AckTracker {
     }
 
     fn insert(&mut self, pn: u64) -> bool {
+        // In-order fast path: extending or appending past the newest range
+        // is the overwhelming bulk-transfer case; the positional walk
+        // below would scan every range just to reach the end. Ranges are
+        // maximal (gaps of at least 2 between them), so extending the last
+        // range can never trigger a merge — the outcomes are exactly what
+        // the walk would produce.
+        if let Some(&mut (_, ref mut e)) = self.ranges.last_mut() {
+            if pn == *e + 1 {
+                *e = pn;
+                return false;
+            }
+            if pn > *e {
+                self.ranges.push((pn, pn));
+                self.trim();
+                return false;
+            }
+        }
         // Find position; ranges is small (<= MAX_BLOCKS).
         for i in 0..self.ranges.len() {
             let (s, e) = self.ranges[i];

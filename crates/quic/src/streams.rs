@@ -196,17 +196,37 @@ impl RecvStream {
             self.fin_at = Some(offset + len as u64);
         }
         if len > 0 {
+            let chunk_end = offset + len as u64;
+            // Fast paths for the common in-order flow, skipping the
+            // insert-then-immediately-remove churn on the segment map:
+            // a pure duplicate below the delivery point is a no-op, and a
+            // chunk extending the in-order point that cannot reach the
+            // first buffered segment advances `delivered` directly.
+            if chunk_end <= self.delivered {
+                return 0;
+            }
+            if offset <= self.delivered
+                && self
+                    .segments
+                    .first_key_value()
+                    .is_none_or(|(&s, _)| s > chunk_end)
+            {
+                let before = self.delivered;
+                self.delivered = chunk_end;
+                return self.delivered - before;
+            }
             let mut start = offset;
-            let mut end = offset + len as u64;
-            // Merge with overlapping/adjacent existing segments.
-            let overlapping: Vec<u64> = self
-                .segments
-                .range(..=end)
-                .filter(|&(&s, &e)| e >= start && s <= end)
-                .map(|(&s, _)| s)
-                .collect();
-            for s in overlapping {
-                let e = self.segments.remove(&s).expect("segment exists");
+            let mut end = chunk_end;
+            // Merge with overlapping/adjacent existing segments. Segments
+            // are non-overlapping and non-adjacent, so both starts and
+            // ends are strictly ordered: the mergeable run is contiguous,
+            // and walking backwards from the insertion point can stop at
+            // the first segment that ends before `start`.
+            while let Some((&s, &e)) = self.segments.range(..=end).next_back() {
+                if e < start {
+                    break;
+                }
+                self.segments.remove(&s);
                 start = start.min(s);
                 end = end.max(e);
             }

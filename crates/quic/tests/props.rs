@@ -3,7 +3,8 @@
 
 use bytes::Bytes;
 use longlook_quic::recv_ack::AckTracker;
-use longlook_quic::streams::RecvStream;
+use longlook_quic::sent::{AckOutcome, SentPacket, SentSlab, SentTracker};
+use longlook_quic::streams::{Chunk, RecvStream};
 use longlook_quic::wire::{AckBlock, Frame, HandshakeKind, QuicPacket};
 use longlook_sim::time::{Dur, Time};
 use proptest::prelude::*;
@@ -187,6 +188,253 @@ proptest! {
             prop_assert!(dec.frames.len() <= pkt.frames.len());
             prop_assert_eq!(&dec.frames[..], &pkt.frames[..dec.frames.len()]);
         }
+    }
+}
+
+/// One abstract sender-store operation; the interpreter below applies it
+/// identically to the map tracker and the slab.
+#[derive(Debug, Clone)]
+enum StoreOp {
+    /// Send `count` packets; bit `i` of `mask` makes packet `i`
+    /// retransmittable (bare-ack otherwise).
+    Send { count: u8, mask: u8 },
+    /// Process one ack frame. `largest_jit` shifts `largest` around the
+    /// newest sent pn (including *past* it — adversarial acks claiming
+    /// unseen pns). `picks` selects acked pns; `thr` varies the NACK
+    /// threshold mid-stream like the adaptive estimator does; `timed`
+    /// additionally arms time-based loss detection.
+    Ack {
+        largest_jit: u8,
+        picks: Vec<u8>,
+        thr: u8,
+        timed: bool,
+    },
+    /// RTO path: abandon up to `n` oldest packets (255 = whole flight,
+    /// the PR-5 livelock shape).
+    Rto { n: u8 },
+}
+
+fn arb_store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (1u8..5, any::<u8>()).prop_map(|(count, mask)| StoreOp::Send { count, mask }),
+        (
+            any::<u8>(),
+            proptest::collection::vec(any::<u8>(), 0..12),
+            prop_oneof![Just(1u8), Just(2), Just(3), Just(6), Just(10)],
+            any::<u8>().prop_map(|v| v % 5 == 0),
+        )
+            .prop_map(|(largest_jit, picks, thr, timed)| StoreOp::Ack {
+                largest_jit,
+                picks,
+                thr,
+                timed,
+            }),
+        prop_oneof![Just(1u8), Just(2), Just(255)].prop_map(|n| StoreOp::Rto { n }),
+    ]
+}
+
+fn mk_pkt(pn: u64, ms: u64, retransmittable: bool) -> SentPacket {
+    SentPacket {
+        pn,
+        sent_at: Time::ZERO + Dur::from_millis(ms),
+        wire_bytes: if retransmittable { 1400 } else { 80 },
+        chunks: if retransmittable {
+            vec![Chunk {
+                id: 1,
+                offset: pn * 1350,
+                len: 1350,
+                fin: false,
+            }]
+        } else {
+            vec![]
+        },
+        handshake: None,
+        wu_streams: Vec::new(),
+        retransmittable,
+        nacks: 0,
+    }
+}
+
+/// Turn an arbitrary pick set into disjoint ascending ack blocks over
+/// `[0, top]` (real ack frames are always disjoint — both stores assume
+/// it).
+fn picks_to_blocks(picks: &[u8], top: u64) -> Vec<AckBlock> {
+    let mut pns: Vec<u64> = picks.iter().map(|&p| p as u64 % (top + 1)).collect();
+    pns.sort_unstable();
+    pns.dedup();
+    let mut blocks: Vec<AckBlock> = Vec::new();
+    for pn in pns {
+        match blocks.last_mut() {
+            Some(&mut (_, ref mut e)) if *e + 1 == pn => *e = pn,
+            _ => blocks.push((pn, pn)),
+        }
+    }
+    blocks
+}
+
+fn outcomes_equal(a: &AckOutcome, b: &AckOutcome) -> bool {
+    a.newly_acked_bytes == b.newly_acked_bytes
+        && a.acked_payload_bytes == b.acked_payload_bytes
+        && a.newest_acked_sent_at == b.newest_acked_sent_at
+        && a.rtt_sample == b.rtt_sample
+        && a.lost.iter().map(|p| p.pn).collect::<Vec<_>>()
+            == b.lost.iter().map(|p| p.pn).collect::<Vec<_>>()
+        && a.spurious == b.spurious
+        && a.acked_new_data == b.acked_new_data
+}
+
+proptest! {
+    /// The slab store is indistinguishable from the map store over
+    /// arbitrary operation sequences: same ack outcomes (including loss
+    /// *order*), same in-flight accounting, same spurious detection,
+    /// through retransmission cycles, whole-flight RTO abandonment, and
+    /// adaptive thresholds shifting between frames.
+    #[test]
+    fn slab_store_equivalent_to_map_store(
+        ops in proptest::collection::vec(arb_store_op(), 1..50),
+    ) {
+        let mut map = SentTracker::default();
+        let mut slab = SentSlab::default();
+        let mut next_pn = 0u64;
+        let mut ms = 0u64;
+        for op in ops {
+            match op {
+                StoreOp::Send { count, mask } => {
+                    for i in 0..count {
+                        let retrans = mask & (1 << (i % 8)) != 0;
+                        let pkt = mk_pkt(next_pn, ms, retrans);
+                        map.on_sent(pkt.clone());
+                        slab.on_sent(pkt);
+                        next_pn += 1;
+                        ms += 1;
+                    }
+                }
+                StoreOp::Ack { largest_jit, picks, thr, timed } => {
+                    if next_pn == 0 {
+                        continue;
+                    }
+                    ms += 5;
+                    // largest in [0, next_pn + 3]: past-the-end values
+                    // exercise the adversarial below-horizon send path.
+                    let largest = (largest_jit as u64) % (next_pn + 4);
+                    let blocks = picks_to_blocks(&picks, next_pn - 1);
+                    let now = Time::ZERO + Dur::from_millis(ms);
+                    let tth = timed.then(|| Dur::from_millis(20));
+                    let a = map.on_ack_frame(now, largest, Dur::ZERO, &blocks, thr as u32, tth);
+                    let b = slab.on_ack_frame(now, largest, Dur::ZERO, &blocks, thr as u32, tth);
+                    prop_assert!(
+                        outcomes_equal(&a, &b),
+                        "ack outcome diverged:\n map: {a:?}\nslab: {b:?}"
+                    );
+                }
+                StoreOp::Rto { n } => {
+                    let n = if n == 255 { usize::MAX } else { n as usize };
+                    let a = map.declare_oldest_lost(n);
+                    let b = slab.declare_oldest_lost(n);
+                    prop_assert_eq!(
+                        a.iter().map(|p| p.pn).collect::<Vec<_>>(),
+                        b.iter().map(|p| p.pn).collect::<Vec<_>>()
+                    );
+                }
+            }
+            prop_assert_eq!(map.bytes_in_flight(), slab.bytes_in_flight());
+            prop_assert_eq!(map.largest_acked(), slab.largest_acked());
+            prop_assert_eq!(map.outstanding(), slab.outstanding());
+            prop_assert_eq!(map.has_retransmittable(), slab.has_retransmittable());
+            prop_assert_eq!(
+                map.newest_retransmittable().map(|p| p.pn),
+                slab.newest_retransmittable().map(|p| p.pn)
+            );
+        }
+    }
+
+    /// Ack processing depends only on the *set* of pns the blocks cover,
+    /// never on how that set is partitioned into ranges: a frame carrying
+    /// maximal coalesced ranges and one carrying the same set split into
+    /// arbitrary finer blocks produce identical outcomes on both stores —
+    /// same newly-acked bytes, largest-acked, and loss verdicts.
+    #[test]
+    fn ack_outcome_depends_only_on_covered_set(
+        sent in 4u64..40,
+        picks in proptest::collection::vec(any::<u8>(), 1..20),
+        splits in proptest::collection::vec(any::<u8>(), 0..8),
+        thr in 1u32..5,
+    ) {
+        // Coalesced blocks, then a finer partition of the same set.
+        let coalesced = picks_to_blocks(&picks, sent - 1);
+        let mut fine: Vec<AckBlock> = Vec::new();
+        for (i, &(s, e)) in coalesced.iter().enumerate() {
+            let cut = splits.get(i).map(|&c| s + (c as u64) % (e - s + 1));
+            match cut {
+                Some(c) if c < e => {
+                    fine.push((s, c));
+                    fine.push((c + 1, e));
+                }
+                _ => fine.push((s, e)),
+            }
+        }
+        let largest = coalesced.last().map(|&(_, e)| e).unwrap_or(0);
+        let now = Time::ZERO + Dur::from_millis(500);
+
+        let run = |blocks: &[AckBlock]| {
+            let mut map = SentTracker::default();
+            let mut slab = SentSlab::default();
+            for pn in 0..sent {
+                map.on_sent(mk_pkt(pn, pn, true));
+                slab.on_sent(mk_pkt(pn, pn, true));
+            }
+            let a = map.on_ack_frame(now, largest, Dur::ZERO, blocks, thr, None);
+            let b = slab.on_ack_frame(now, largest, Dur::ZERO, blocks, thr, None);
+            (a, b, map.bytes_in_flight(), slab.bytes_in_flight())
+        };
+        let (ca, cb, cm, cs) = run(&coalesced);
+        let (fa, fb, fm, fs) = run(&fine);
+        prop_assert!(outcomes_equal(&ca, &cb), "coalesced: map vs slab diverged");
+        prop_assert!(outcomes_equal(&fa, &fb), "fine: map vs slab diverged");
+        prop_assert!(outcomes_equal(&ca, &fa), "block partition changed the outcome");
+        prop_assert_eq!(cm, fm);
+        prop_assert_eq!(cs, fs);
+    }
+
+    /// Receiver-side coalescing is insertion-order-invariant: any arrival
+    /// interleaving of a pn set yields the same maximal ranges and the
+    /// same duplicate verdicts. This pins the in-order fast path in
+    /// `AckTracker::insert` against the positional walk (shuffled orders
+    /// exercise both).
+    #[test]
+    fn ack_tracker_coalescing_is_order_invariant(
+        pns in proptest::collection::vec(0u64..60, 1..50),
+        shuffle_seed in any::<u64>(),
+    ) {
+        use std::collections::BTreeSet;
+        let mut shuffled = pns.clone();
+        let mut s = shuffle_seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let feed = |order: &[u64]| {
+            let mut t = AckTracker::default();
+            let mut seen = BTreeSet::new();
+            for (i, &pn) in order.iter().enumerate() {
+                let dup = t.on_packet(
+                    pn,
+                    Time::ZERO + Dur::from_micros(i as u64),
+                    true,
+                    u32::MAX, // never trip decimation: build_ack once at the end
+                    Dur::from_millis(25),
+                );
+                assert_eq!(dup, !seen.insert(pn), "duplicate verdict wrong for {pn}");
+            }
+            let (largest, _, blocks) =
+                t.build_ack(Time::ZERO + Dur::from_secs(1)).expect("non-empty");
+            (largest, blocks)
+        };
+        let (l1, b1) = feed(&pns);
+        let (l2, b2) = feed(&shuffled);
+        prop_assert_eq!(l1, l2);
+        prop_assert_eq!(b1, b2, "ranges depend on arrival order");
     }
 }
 

@@ -30,7 +30,7 @@ pub use link::{DropKind, Jitter, LinkConfig, LinkDir, LinkStats, ReorderSpec, Ve
 // The payload pool moved down into `longlook-wire` (the wire formats need
 // it); re-exported here so `longlook_sim::pool::PayloadPool` keeps working.
 pub use longlook_wire::pool;
-pub use longlook_wire::{PayloadPool, WireMode};
+pub use longlook_wire::{BatchMode, PayloadPool, WireMode};
 pub use packet::{FlowId, NodeId, Packet, Payload, PktClass};
 pub use rng::{current_cell, CellGuard, CellId, IsolationTag, SimRng};
 pub use sched::{EventQueue, SchedKind};

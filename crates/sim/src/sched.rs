@@ -180,6 +180,30 @@ impl<T> HeapSched<T> {
     pub fn next_at(&mut self) -> Option<Time> {
         self.heap.peek().map(|Reverse(HeapEntry(e))| e.at)
     }
+
+    /// Borrow the earliest event without removing it.
+    pub fn peek(&mut self) -> Option<(Time, &T)> {
+        self.heap
+            .peek()
+            .map(|Reverse(HeapEntry(e))| (e.at, &e.item))
+    }
+
+    /// Pop the earliest event iff it is at or before `deadline`
+    /// (peek + pop fused into one front check).
+    pub fn pop_at_most(&mut self, deadline: Time) -> Option<(Time, T)> {
+        match self.heap.peek() {
+            Some(Reverse(HeapEntry(e))) if e.at <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Pop the earliest event iff `pred` approves it (peek + pop fused).
+    pub fn pop_if(&mut self, pred: impl FnOnce(Time, &T) -> bool) -> Option<(Time, T)> {
+        match self.heap.peek() {
+            Some(Reverse(HeapEntry(e))) if pred(e.at, &e.item) => self.pop(),
+            _ => None,
+        }
+    }
 }
 
 impl<T> Default for HeapSched<T> {
@@ -270,6 +294,45 @@ impl<T> TimingWheel<T> {
         self.active.last().map(|e| e.at)
     }
 
+    /// Borrow the earliest event without removing it. `&mut self` for the
+    /// same cursor-advance reason as [`TimingWheel::next_at`].
+    pub fn peek(&mut self) -> Option<(Time, &T)> {
+        if self.active.is_empty() && !self.advance() {
+            return None;
+        }
+        self.active.last().map(|e| (e.at, &e.item))
+    }
+
+    /// Pop the earliest event iff it is at or before `deadline`. One
+    /// front check instead of a `next_at` + `pop` pair — the event loop's
+    /// per-event peek was a measurable share of its runtime.
+    pub fn pop_at_most(&mut self, deadline: Time) -> Option<(Time, T)> {
+        if self.active.is_empty() && !self.advance() {
+            return None;
+        }
+        if self.active.last().expect("advance loaded events").at > deadline {
+            return None;
+        }
+        let e = self.active.pop().expect("checked above");
+        self.len -= 1;
+        Some((e.at, e.item))
+    }
+
+    /// Pop the earliest event iff `pred` approves it (peek + pop fused,
+    /// used by burst dispatch to continue a same-instant run).
+    pub fn pop_if(&mut self, pred: impl FnOnce(Time, &T) -> bool) -> Option<(Time, T)> {
+        if self.active.is_empty() && !self.advance() {
+            return None;
+        }
+        let front = self.active.last().expect("advance loaded events");
+        if !pred(front.at, &front.item) {
+            return None;
+        }
+        let e = self.active.pop().expect("checked above");
+        self.len -= 1;
+        Some((e.at, e.item))
+    }
+
     fn slot_insert(&mut self, t: u64, e: Entry<T>) {
         debug_assert!(t > self.cursor && t < self.cursor + SLOTS as u64);
         let idx = (t % SLOTS as u64) as usize;
@@ -309,11 +372,13 @@ impl<T> TimingWheel<T> {
         self.cursor = target;
         if wheel_next == Some(target) {
             let idx = (target % SLOTS as u64) as usize;
-            let mut v = mem::take(&mut self.slots[idx]);
             self.occ[idx / 64] &= !(1 << (idx % 64));
-            self.active.append(&mut v);
-            if self.free.len() < SLOTS && v.capacity() > 0 {
-                self.free.push(v);
+            // `active` is empty here, so the slot vector becomes the new
+            // `active` wholesale — no entry copies — and the old `active`
+            // allocation parks in the free list.
+            let old = mem::replace(&mut self.active, mem::take(&mut self.slots[idx]));
+            if self.free.len() < SLOTS && old.capacity() > 0 {
+                self.free.push(old);
             }
         }
         // The horizon moved: drain newly coverable overflow entries. Ticks
@@ -420,6 +485,34 @@ impl<T> EventQueue<T> {
         match self {
             EventQueue::Wheel(w) => w.next_at(),
             EventQueue::Heap(h) => h.next_at(),
+        }
+    }
+
+    /// Borrow the earliest event (time and payload) without removing it.
+    /// The borrowed payload is exactly what the next `pop` would return —
+    /// burst dispatch uses this to decide whether to keep consuming.
+    pub fn peek(&mut self) -> Option<(Time, &T)> {
+        match self {
+            EventQueue::Wheel(w) => w.peek(),
+            EventQueue::Heap(h) => h.peek(),
+        }
+    }
+
+    /// Pop the earliest event iff it is at or before `deadline`. Same
+    /// observable behavior as `next_at` followed by `pop`, in one call.
+    pub fn pop_at_most(&mut self, deadline: Time) -> Option<(Time, T)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_at_most(deadline),
+            EventQueue::Heap(h) => h.pop_at_most(deadline),
+        }
+    }
+
+    /// Pop the earliest event iff `pred` approves it. Same observable
+    /// behavior as `peek` followed by `pop`, in one call.
+    pub fn pop_if(&mut self, pred: impl FnOnce(Time, &T) -> bool) -> Option<(Time, T)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_if(pred),
+            EventQueue::Heap(h) => h.pop_if(pred),
         }
     }
 
@@ -604,6 +697,23 @@ mod tests {
                     break;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn peek_matches_next_pop_exactly() {
+        for kind in [SchedKind::Wheel, SchedKind::Heap] {
+            let mut q = EventQueue::new(kind);
+            q.push(Time::from_nanos(7 << SLOT_SHIFT), 'b'); // different slot
+            q.push(Time::from_nanos(3), 'a');
+            q.push(Time::from_nanos(3), 'c'); // FIFO behind 'a'
+            while let Some((t, &item)) = q.peek() {
+                // Peek must not disturb order, and must borrow the exact
+                // payload the following pop returns.
+                assert_eq!(q.peek().map(|(pt, &pi)| (pt, pi)), Some((t, item)));
+                assert_eq!(q.pop(), Some((t, item)), "{kind:?}");
+            }
+            assert!(q.is_empty(), "{kind:?}");
         }
     }
 

@@ -11,8 +11,8 @@ use crate::packet::{NodeId, Packet};
 use crate::rng::{IsolationTag, SimRng};
 use crate::sched::{EventQueue, SchedKind};
 use crate::time::Time;
+use longlook_wire::BatchMode;
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Interface the world hands an agent during a callback.
 pub struct Ctx<'a> {
@@ -88,7 +88,10 @@ pub struct World {
     now: Time,
     queue: EventQueue<Ev>,
     nodes: Vec<NodeSlot>,
-    links: HashMap<(NodeId, NodeId), LinkDir>,
+    /// Directed links, keyed by `(src, dst)`. A flat vector: topologies
+    /// are a handful of links, so the per-packet lookup in `route` is a
+    /// short linear scan instead of a tuple hash.
+    links: Vec<((NodeId, NodeId), LinkDir)>,
     rng: SimRng,
     stop: bool,
     events_processed: u64,
@@ -101,6 +104,12 @@ pub struct World {
     /// during `[from, until)` are deferred to `until`. Empty in every
     /// unfaulted run, so the per-event check is a length test.
     stalls: Vec<(NodeId, Time, Time)>,
+    /// Batched hot path (`LONGLOOK_BATCH`, resolved at construction):
+    /// consecutive same-instant packet deliveries to one node run in a
+    /// single dispatch. Bursts drain each packet's wakes/outbox before
+    /// consuming the next event, so every queue push lands with the same
+    /// `(time, seq)` key as the per-event path — bit-identical replay.
+    batch: bool,
     /// Debug-build cell-ownership tag (see [`crate::rng::IsolationTag`]):
     /// a `World` shared across experiment cells is caught even before any
     /// of its RNG streams draw.
@@ -121,14 +130,24 @@ impl World {
             now: Time::ZERO,
             queue: EventQueue::new(sched),
             nodes: Vec::new(),
-            links: HashMap::new(),
+            links: Vec::new(),
             rng: SimRng::new(seed),
             stop: false,
             events_processed: 0,
             scratch_out: Vec::new(),
             scratch_wakes: Vec::new(),
             stalls: Vec::new(),
+            batch: BatchMode::from_env().is_on(),
             tag: IsolationTag::default(),
+        }
+    }
+
+    /// Which hot-path mode this world was constructed with.
+    pub fn batch_mode(&self) -> BatchMode {
+        if self.batch {
+            BatchMode::On
+        } else {
+            BatchMode::Off
         }
     }
 
@@ -154,18 +173,14 @@ impl World {
             .reserve_hint(cfg_ab.inflight_hint() + cfg_ba.inflight_hint());
         let rng_ab = self.rng.fork((a.0 as u64) << 32 | b.0 as u64);
         let rng_ba = self.rng.fork((b.0 as u64) << 32 | a.0 as u64);
-        assert!(
-            self.links
-                .insert((a, b), LinkDir::new(cfg_ab, rng_ab))
-                .is_none(),
-            "link {a:?}->{b:?} already exists"
-        );
-        assert!(
-            self.links
-                .insert((b, a), LinkDir::new(cfg_ba, rng_ba))
-                .is_none(),
-            "link {b:?}->{a:?} already exists"
-        );
+        for (key, label) in [((a, b), "a->b"), ((b, a), "b->a")] {
+            assert!(
+                !self.links.iter().any(|(k, _)| *k == key),
+                "link {label} {key:?} already exists"
+            );
+        }
+        self.links.push(((a, b), LinkDir::new(cfg_ab, rng_ab)));
+        self.links.push(((b, a), LinkDir::new(cfg_ba, rng_ba)));
     }
 
     /// Schedule a bootstrap wakeup so the node can start transmitting.
@@ -238,7 +253,10 @@ impl World {
 
     /// Statistics for the `a -> b` link direction.
     pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<&LinkStats> {
-        self.links.get(&(a, b)).map(|l| l.stats())
+        self.links
+            .iter()
+            .find(|(k, _)| *k == (a, b))
+            .map(|(_, l)| l.stats())
     }
 
     /// Immutable access to an agent, downcast to its concrete type.
@@ -273,6 +291,14 @@ impl World {
         let Some((at, ev)) = self.queue.pop() else {
             return false;
         };
+        self.step_ev(at, ev);
+        true
+    }
+
+    /// Dispatch one already-popped event (shared by `step` and the fused
+    /// `run_until` loop; both check the isolation tag *before* popping so
+    /// a misused World is caught even with an empty queue).
+    fn step_ev(&mut self, at: Time, ev: Ev) {
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
         self.events_processed += 1;
@@ -295,7 +321,7 @@ impl World {
                     }
                     deferred => self.push(until, deferred),
                 }
-                return true;
+                return;
             }
         }
         match ev {
@@ -306,11 +332,19 @@ impl World {
                     .process(self.now, pkt.class);
                 if done > self.now {
                     self.push(done, Ev::Deliver(pkt));
+                } else if self.batch && self.stalls.is_empty() {
+                    self.dispatch_burst(pkt);
                 } else {
                     self.dispatch_packet(pkt);
                 }
             }
-            Ev::Deliver(pkt) => self.dispatch_packet(pkt),
+            Ev::Deliver(pkt) => {
+                if self.batch && self.stalls.is_empty() {
+                    self.dispatch_burst(pkt);
+                } else {
+                    self.dispatch_packet(pkt);
+                }
+            }
             Ev::Wake(node) => {
                 // Stale duplicates (superseded by an earlier wake) fire as
                 // harmless no-ops; clear the dedup marker when the
@@ -321,28 +355,134 @@ impl World {
                 self.dispatch_wake(node);
             }
         }
-        true
     }
 
     /// Run until an agent requests a stop, the queue empties, or `deadline`
     /// passes. Returns the stop reason.
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
         loop {
+            self.tag.check("World");
             if self.stop {
                 return RunOutcome::Stopped;
             }
-            match self.queue.next_at() {
-                None => return RunOutcome::Idle,
-                Some(at) if at > deadline => return RunOutcome::DeadlineReached,
-                _ => {}
+            // Fused front check: pops only an event at or before the
+            // deadline, so a beyond-deadline event stays queued exactly as
+            // the peek-then-step loop left it.
+            match self.queue.pop_at_most(deadline) {
+                Some((at, ev)) => self.step_ev(at, ev),
+                None => {
+                    return if self.queue.is_empty() {
+                        RunOutcome::Idle
+                    } else {
+                        RunOutcome::DeadlineReached
+                    };
+                }
             }
-            self.step();
         }
     }
 
     fn dispatch_packet(&mut self, pkt: Packet) {
         let node = pkt.dst;
         self.dispatch(node, Some(pkt));
+    }
+
+    /// Batched packet delivery: after dispatching `first`, keep consuming
+    /// queue-front events that are (a) at the same instant, (b) packets
+    /// (never wakes), and (c) addressed to the same node — all inside one
+    /// agent checkout and one scratch-buffer loan.
+    ///
+    /// Equivalence with the per-event path is by construction, not by
+    /// approximation:
+    ///
+    /// * Each packet's wake requests and outbox are drained *before* the
+    ///   next event is consumed, so every derived push gets the same
+    ///   `(time, seq)` key as under per-event stepping. (Consumed burst
+    ///   events were queued before anything this burst pushes, so popping
+    ///   them early never reorders equal-time events.)
+    /// * A `LinkOut` whose CPU charge lands in the future pushes its
+    ///   `Deliver` exactly where the per-event loop would, then the burst
+    ///   keeps scanning — subsequent same-instant arrivals see the same
+    ///   busy CPU either way.
+    /// * `events_processed` advances once per consumed event, so event
+    ///   counts match per-event runs exactly.
+    /// * A stop request ends the burst before the next event is consumed,
+    ///   mirroring `run_until`'s check between steps; remaining events
+    ///   stay queued for a later (or multi-phase) run.
+    ///
+    /// Bursts only form when no stall windows exist (checked by `step`);
+    /// faulted cells take the per-event path, which applies deferrals
+    /// event by event.
+    fn dispatch_burst(&mut self, first: Packet) {
+        let node = first.dst;
+        let mut agent = self.nodes[node.0 as usize]
+            .agent
+            .take()
+            .expect("reentrant dispatch");
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut wakes = std::mem::take(&mut self.scratch_wakes);
+        debug_assert!(out.is_empty() && wakes.is_empty());
+        let mut pkt = first;
+        'burst: loop {
+            let mut stop = false;
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    node,
+                    out: &mut out,
+                    wakes: &mut wakes,
+                    stop: &mut stop,
+                };
+                agent.on_packet(pkt, &mut ctx);
+            }
+            if stop {
+                self.stop = true;
+            }
+            // Per-packet drain: wakes then outbox, same order as
+            // `dispatch`, so derived events take identical queue keys.
+            for t in wakes.drain(..) {
+                let at = if t < self.now { self.now } else { t };
+                self.schedule_wake(node, at);
+            }
+            for p in out.drain(..) {
+                assert_eq!(p.src, node, "agent spoofed src");
+                self.route(p);
+            }
+            if self.stop {
+                break;
+            }
+            // Consume queue-front events while they are same-instant
+            // packets for this node; the first deliverable one continues
+            // the burst, anything else ends it for the ordinary loop.
+            pkt = loop {
+                let now = self.now;
+                let popped = self.queue.pop_if(|at, ev| {
+                    at == now && matches!(ev, Ev::LinkOut(p) | Ev::Deliver(p) if p.dst == node)
+                });
+                let Some((_, ev)) = popped else {
+                    break 'burst;
+                };
+                self.events_processed += 1;
+                match ev {
+                    Ev::LinkOut(p) => {
+                        let done = self.nodes[node.0 as usize].cpu.process(self.now, p.class);
+                        if done > self.now {
+                            // CPU busy past `now`: defer exactly like the
+                            // per-event loop (no callback) and keep
+                            // scanning — later arrivals see the same busy
+                            // CPU and defer in the same order.
+                            self.push(done, Ev::Deliver(p));
+                        } else {
+                            break p;
+                        }
+                    }
+                    Ev::Deliver(p) => break p,
+                    Ev::Wake(_) => unreachable!("burst never consumes wakes"),
+                }
+            };
+        }
+        self.nodes[node.0 as usize].agent = Some(agent);
+        self.scratch_out = out;
+        self.scratch_wakes = wakes;
     }
 
     fn dispatch_wake(&mut self, node: NodeId) {
@@ -391,9 +531,12 @@ impl World {
     }
 
     fn route(&mut self, pkt: Packet) {
+        let key = (pkt.src, pkt.dst);
         let link = self
             .links
-            .get_mut(&(pkt.src, pkt.dst))
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .map(|(_, l)| l)
             .unwrap_or_else(|| panic!("no link {:?} -> {:?}", pkt.src, pkt.dst));
         let verdict = link.transit(self.now, pkt.wire_size);
         let dup_at = link.take_dup_arrival();

@@ -18,7 +18,7 @@ use crate::scoreboard::Scoreboard;
 use crate::wire::{flags, TcpSegment};
 use longlook_sim::packet::Payload;
 use longlook_sim::time::{Dur, Time};
-use longlook_sim::{PayloadPool, WireMode};
+use longlook_sim::{BatchMode, PayloadPool, WireMode};
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
 use longlook_transport::conn::{
@@ -144,8 +144,16 @@ pub struct TcpConnection {
     next_stream_id: u32,
 
     rto_deadline: Option<Time>,
+    /// Pending lazy RTO re-arm: the `now` of the newest `rearm_rto`
+    /// request this dispatch. Re-arming is a pure function of scoreboard /
+    /// rtt / backoff state, and the deadline is only observable at
+    /// `next_wakeup` / `on_wakeup`, so resolving just the last request is
+    /// exact (see the QUIC twin's loss-timer treatment).
+    rto_rearm_at: Option<Time>,
     rto_backoff: u32,
     in_rto_state: bool,
+    /// `LONGLOOK_BATCH` resolved at construction: defer RTO re-arms.
+    batch: bool,
 
     tls_established: bool,
     handshake_done_emitted: bool,
@@ -215,8 +223,10 @@ impl TcpConnection {
             snd_nxt: 0,
             next_stream_id: 1,
             rto_deadline: None,
+            rto_rearm_at: None,
             rto_backoff: 0,
             in_rto_state: false,
+            batch: BatchMode::from_env().is_on(),
             tls_established: false,
             handshake_done_emitted: false,
             app_limited: false,
@@ -312,12 +322,30 @@ impl TcpConnection {
         self.tracker.set(now, label);
     }
 
-    fn rearm_rto(&mut self, now: Time) {
+    /// Pure RTO deadline computation for a re-arm requested at `now`.
+    fn compute_rto(&self, now: Time) -> Option<Time> {
         if self.scoreboard.has_outstanding() {
             let rto = self.rtt.rto().saturating_mul(1 << self.rto_backoff.min(6));
-            self.rto_deadline = Some(now + rto);
+            Some(now + rto)
         } else {
-            self.rto_deadline = None;
+            None
+        }
+    }
+
+    fn rearm_rto(&mut self, now: Time) {
+        if self.batch {
+            // Batched hot path: every segment sent in a dispatch requests
+            // a re-arm with the same `now`; defer and resolve once.
+            self.rto_rearm_at = Some(now);
+        } else {
+            self.rto_deadline = self.compute_rto(now);
+        }
+    }
+
+    /// Apply a deferred re-arm before the deadline is acted on.
+    fn resolve_rto(&mut self) {
+        if let Some(at) = self.rto_rearm_at.take() {
+            self.rto_deadline = self.compute_rto(at);
         }
     }
 
@@ -411,6 +439,7 @@ impl TcpConnection {
         self.synack_pending = false;
         self.syn_deadline = None;
         self.rto_deadline = None;
+        self.rto_rearm_at = None;
     }
 
     /// Check the armed watchdog at `now` (see the QUIC twin): the
@@ -557,8 +586,7 @@ impl Connection for TcpConnection {
         }
 
         // 2. Retransmissions first (cc-gated via PRR/cwnd).
-        let lost = self.scoreboard.lost_ranges();
-        if let Some(&(seq, len)) = lost.first() {
+        if let Some((seq, len)) = self.scoreboard.first_lost() {
             if self.cc.can_send(self.scoreboard.pipe(), len as u64) {
                 self.stats.retransmissions += 1;
                 return Some(self.make_data_segment(seq, len, now));
@@ -611,7 +639,13 @@ impl Connection for TcpConnection {
                 });
             }
         };
-        consider(self.rto_deadline);
+        // Resolve any deferred re-arm without mutating: a pending request
+        // supersedes the stored deadline.
+        let rto = match self.rto_rearm_at {
+            Some(at) => self.compute_rto(at),
+            None => self.rto_deadline,
+        };
+        consider(rto);
         consider(self.syn_deadline);
         consider(self.receiver.deadline());
         if self.cfg.watchdog {
@@ -627,6 +661,7 @@ impl Connection for TcpConnection {
     }
 
     fn on_wakeup(&mut self, now: Time) {
+        self.resolve_rto();
         self.check_watchdog(now);
         if self.gave_up {
             return;
@@ -686,7 +721,7 @@ impl Connection for TcpConnection {
         self.gave_up
             || (!self.scoreboard.has_outstanding()
                 && self.snd_nxt >= self.mux.stream_len().min(self.sendable_limit())
-                && self.scoreboard.lost_ranges().is_empty())
+                && self.scoreboard.lost_count() == 0)
     }
 
     fn stats(&self) -> ConnStats {

@@ -64,6 +64,10 @@ pub struct Scoreboard {
     fr_fired: bool,
     /// Bytes in flight (sent, not acked/sacked/lost).
     pipe: u64,
+    /// Segments currently marked lost — kept in lockstep with the `lost`
+    /// flags so the per-poll retransmission check is O(1) instead of an
+    /// allocating full scan.
+    lost_segs: usize,
 }
 
 impl Scoreboard {
@@ -77,6 +81,7 @@ impl Scoreboard {
             max_dupthresh: 64,
             fr_fired: false,
             pipe: 0,
+            lost_segs: 0,
         }
     }
 
@@ -88,6 +93,7 @@ impl Scoreboard {
                 debug_assert_eq!(seg.len, len, "segment boundaries are stable");
                 if seg.lost {
                     seg.lost = false;
+                    self.lost_segs -= 1;
                     self.pipe += seg.len as u64;
                 }
                 seg.retransmitted = true;
@@ -143,6 +149,7 @@ impl Scoreboard {
         let seg = self.segs.get_mut(&seq).expect("just found");
         if !seg.lost {
             seg.lost = true;
+            self.lost_segs += 1;
             self.pipe -= seg.len as u64;
         }
         Some((seq, len))
@@ -157,6 +164,7 @@ impl Scoreboard {
         for seg in self.segs.values_mut() {
             if !seg.sacked && !seg.lost {
                 seg.lost = true;
+                self.lost_segs += 1;
                 self.pipe -= seg.len as u64;
                 n += 1;
             }
@@ -188,11 +196,15 @@ impl Scoreboard {
             self.snd_una = ack;
             self.dupacks = 0;
             self.fr_fired = false;
-            let covered: Vec<u64> = self.segs.range(..ack).map(|(&s, _)| s).collect();
-            for seq in covered {
-                let seg = self.segs.remove(&seq).expect("collected");
+            // Pop covered segments in ascending order without collecting
+            // the key set first.
+            while let Some((&seq, _)) = self.segs.range(..ack).next() {
+                let seg = self.segs.remove(&seq).expect("present");
                 if !seg.sacked && !seg.lost {
                     self.pipe -= seg.len as u64;
+                }
+                if seg.lost {
+                    self.lost_segs -= 1;
                 }
                 let newest = out.newest_acked_sent_at.get_or_insert(seg.sent_at);
                 if seg.sent_at > *newest {
@@ -216,20 +228,16 @@ impl Scoreboard {
         let mut highest_sacked = 0u64;
         for &(s, e) in plain {
             highest_sacked = highest_sacked.max(e);
-            let in_range: Vec<u64> = self
-                .segs
-                .range(s..e)
-                .filter(|(_, seg)| !seg.sacked)
-                .map(|(&k, _)| k)
-                .collect();
-            for k in in_range {
-                let seg = self.segs.get_mut(&k).expect("collected");
+            // Marking never changes keys, so mutate in place through the
+            // range cursor instead of collecting the key set.
+            for (&k, seg) in self.segs.range_mut(s..e) {
                 if k >= s && k + seg.len as u64 <= e && !seg.sacked {
                     seg.sacked = true;
                     if !seg.lost {
                         self.pipe -= seg.len as u64;
                     } else {
                         seg.lost = false;
+                        self.lost_segs -= 1;
                     }
                     out.newly_sacked += seg.len as u64;
                     let newest = out.newest_acked_sent_at.get_or_insert(seg.sent_at);
@@ -245,41 +253,37 @@ impl Scoreboard {
         // this continuously (not once per window) is what lets SACK
         // recovery handle multiple losses per window without an RTO.
         if highest_sacked > self.snd_una {
-            let below: Vec<(u64, bool, bool, Time)> = self
-                .segs
-                .range(self.snd_una..highest_sacked)
-                .map(|(&k, s)| (k, s.sacked, s.lost, s.sent_at))
-                .collect();
+            // Walk the hole region newest-first, marking losses in place:
+            // the verdict for a segment depends only on SACKed segments
+            // *above* it, which the reverse cursor has already consumed,
+            // so no snapshot is needed.
             let mut sacked_above = 0u32;
             let mut latest_sacked_sent = None::<Time>;
-            let mut newly_lost: Vec<u64> = Vec::new();
-            for &(k, sacked, lost, sent_at) in below.iter().rev() {
-                if sacked {
+            let dupthresh = self.dupthresh;
+            for (&k, seg) in self.segs.range_mut(self.snd_una..highest_sacked).rev() {
+                if seg.sacked {
                     sacked_above += 1;
                     latest_sacked_sent = Some(match latest_sacked_sent {
-                        Some(t) if t >= sent_at => t,
-                        _ => sent_at,
+                        Some(t) if t >= seg.sent_at => t,
+                        _ => seg.sent_at,
                     });
-                } else if !lost
-                    && sacked_above >= self.dupthresh
+                } else if !seg.lost
+                    && sacked_above >= dupthresh
                     // Time-order guard: only declare the hole lost if some
                     // SACKed segment was *sent after* it — otherwise a
                     // just-retransmitted segment would be instantly
                     // re-marked lost (and retransmitted forever).
-                    && latest_sacked_sent.is_some_and(|t| t > sent_at)
+                    && latest_sacked_sent.is_some_and(|t| t > seg.sent_at)
                 {
-                    newly_lost.push(k);
+                    seg.lost = true;
+                    self.lost_segs += 1;
+                    self.pipe -= seg.len as u64;
+                    match out.lost_sent_at {
+                        Some(t) if t <= seg.sent_at => {}
+                        _ => out.lost_sent_at = Some(seg.sent_at),
+                    }
+                    out.lost_ranges.push((k, seg.len));
                 }
-            }
-            for k in newly_lost {
-                let seg = self.segs.get_mut(&k).expect("collected");
-                seg.lost = true;
-                self.pipe -= seg.len as u64;
-                match out.lost_sent_at {
-                    Some(t) if t <= seg.sent_at => {}
-                    _ => out.lost_sent_at = Some(seg.sent_at),
-                }
-                out.lost_ranges.push((k, seg.len));
             }
             if !out.lost_ranges.is_empty() {
                 out.fast_retransmit = true;
@@ -295,6 +299,7 @@ impl Scoreboard {
                 let seg = self.segs.get_mut(&seq).expect("found");
                 if !seg.lost {
                     seg.lost = true;
+                    self.lost_segs += 1;
                     self.pipe -= seg.len as u64;
                 }
                 out.lost_sent_at = Some(seg.sent_at);
@@ -311,6 +316,23 @@ impl Scoreboard {
             .filter(|(_, s)| s.lost)
             .map(|(&k, s)| (k, s.len))
             .collect()
+    }
+
+    /// Number of segments currently marked lost (O(1)).
+    pub fn lost_count(&self) -> usize {
+        self.lost_segs
+    }
+
+    /// Lowest-sequence lost segment — the next retransmission target.
+    /// Early-exits on the counter so the no-loss steady state pays nothing.
+    pub fn first_lost(&self) -> Option<(u64, u32)> {
+        if self.lost_segs == 0 {
+            return None;
+        }
+        self.segs
+            .iter()
+            .find(|(_, s)| s.lost)
+            .map(|(&k, s)| (k, s.len))
     }
 }
 
@@ -445,6 +467,38 @@ mod tests {
         let (seq, len) = sb.mark_oldest_lost().unwrap();
         assert_eq!((seq, len), (0, 1000));
         assert_eq!(sb.pipe(), 2000);
+    }
+
+    #[test]
+    fn lost_counter_tracks_flags_through_full_cycle() {
+        let mut sb = Scoreboard::new();
+        send_n(&mut sb, 8, 1000);
+        assert_eq!(sb.lost_count(), 0);
+        assert_eq!(sb.first_lost(), None);
+        // SACK-driven loss of segment 0.
+        sb.on_ack(t(40), 0, &[(1000, 2000)], false, false);
+        sb.on_ack(t(41), 0, &[(1000, 3000)], false, false);
+        sb.on_ack(t(42), 0, &[(1000, 4000)], false, false);
+        assert_eq!(sb.lost_count(), 1);
+        assert_eq!(sb.first_lost(), Some((0, 1000)));
+        assert_eq!(sb.lost_ranges(), vec![(0, 1000)]);
+        // Retransmission clears the mark.
+        sb.on_sent(0, 1000, t(50));
+        assert_eq!(sb.lost_count(), 0);
+        // RTO marks everything unsacked; cumulative ack clears some.
+        sb.mark_all_lost();
+        assert_eq!(sb.lost_count(), sb.lost_ranges().len());
+        let n_before = sb.lost_count();
+        sb.on_ack(t(60), 5000, &[], false, false);
+        assert_eq!(sb.lost_count(), sb.lost_ranges().len());
+        assert!(sb.lost_count() < n_before);
+        assert_eq!(
+            sb.first_lost().map(|(s, _)| s),
+            sb.lost_ranges().first().map(|&(s, _)| s)
+        );
+        // SACK covering a lost segment also clears its mark.
+        sb.on_ack(t(61), 5000, &[(5000, 6000)], false, false);
+        assert_eq!(sb.lost_count(), sb.lost_ranges().len());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Wire-path selection: structured in-memory packets vs encoded bytes.
+//! Runtime path selection knobs: structured vs encoded payloads
+//! (`LONGLOOK_WIRE`) and batched vs per-event hot paths (`LONGLOOK_BATCH`).
 
 use std::sync::Once;
 
@@ -38,6 +39,52 @@ impl WireMode {
     }
 }
 
+/// Whether the transport hot paths run batched (flight-granular ack
+/// bookkeeping, burst delivery, amortized timer re-arming) or strictly
+/// per-event.
+///
+/// The two paths are pinned bit-identical by the `batch_differential`
+/// referee suite; `Off` is the reference path kept as an escape hatch
+/// while both coexist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Batched hot path (default): same observable behavior, less
+    /// per-event work.
+    On,
+    /// Per-event reference path (`LONGLOOK_BATCH=off`).
+    Off,
+}
+
+impl BatchMode {
+    /// Resolve from the `LONGLOOK_BATCH` environment variable.
+    ///
+    /// Read on every call (not cached) so differential tests and benches
+    /// can flip the variable between runs in one process — mirroring
+    /// `LONGLOOK_WIRE` and `LONGLOOK_SCHED`.
+    pub fn from_env() -> BatchMode {
+        match std::env::var("LONGLOOK_BATCH") {
+            Ok(v) if v.eq_ignore_ascii_case("off") => BatchMode::Off,
+            Ok(v) if v.eq_ignore_ascii_case("on") || v.is_empty() => BatchMode::On,
+            Ok(v) => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "warning: unrecognized LONGLOOK_BATCH={v:?} (expected \
+                         \"on\" or \"off\"); using on"
+                    );
+                });
+                BatchMode::On
+            }
+            Err(_) => BatchMode::On,
+        }
+    }
+
+    /// True when the batched path is selected.
+    pub fn is_on(self) -> bool {
+        self == BatchMode::On
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +110,31 @@ mod tests {
         match saved {
             Some(v) => std::env::set_var("LONGLOOK_WIRE", v),
             None => std::env::remove_var("LONGLOOK_WIRE"),
+        }
+    }
+
+    /// Same single-test discipline for `LONGLOOK_BATCH`.
+    #[test]
+    fn batch_from_env_resolves_all_spellings() {
+        let saved = std::env::var("LONGLOOK_BATCH").ok();
+        std::env::remove_var("LONGLOOK_BATCH");
+        assert_eq!(BatchMode::from_env(), BatchMode::On);
+        assert!(BatchMode::On.is_on());
+        assert!(!BatchMode::Off.is_on());
+        for (v, want) in [
+            ("on", BatchMode::On),
+            ("ON", BatchMode::On),
+            ("", BatchMode::On),
+            ("off", BatchMode::Off),
+            ("Off", BatchMode::Off),
+            ("junk-value", BatchMode::On), // warns once, falls back
+        ] {
+            std::env::set_var("LONGLOOK_BATCH", v);
+            assert_eq!(BatchMode::from_env(), want, "LONGLOOK_BATCH={v:?}");
+        }
+        match saved {
+            Some(v) => std::env::set_var("LONGLOOK_BATCH", v),
+            None => std::env::remove_var("LONGLOOK_BATCH"),
         }
     }
 }
