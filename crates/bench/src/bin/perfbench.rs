@@ -32,10 +32,18 @@
 //! * `sweep_small` / `sweep_small_structured` — a small serial heatmap
 //!   sweep per wire path, the closest thing to a whole-program wall-clock
 //!   number; `wire_sweep_speedup` is the encoded/structured wall ratio.
+//! * `fleet_10k` / `fleet_100k` — flash-crowd fleet cells (`run_fleet`,
+//!   QUIC, 10^4 / 10^5 clients) reporting Mev/s, peak scheduled events,
+//!   and connection-arena bytes. `--check` gates the arena footprint
+//!   ([`FLEET_ARENA_BYTES_BAR`], [`FLEET_BYTES_PER_CONN_BAR`]) and the
+//!   absolute event rate ([`FLEET_ABS_BAR_MEV_S`]).
 //!
-//! Usage: `perfbench [--iters N] [--warmup N] [--out PATH] [--check PATH]`.
-//! `--check` parses an existing JSON file and validates the schema instead
-//! of running benchmarks (used by the CI bench-smoke job).
+//! Usage: `perfbench [--iters N] [--warmup N] [--out PATH] [--only fleet]
+//! [--check PATH]`. `--only fleet` runs just the fleet cells and stamps
+//! the JSON with `"subset": "fleet"` so `--check` requires only the fleet
+//! benches and bars — that is what the CI fleet-smoke job runs. `--check`
+//! parses an existing JSON file and validates the schema instead of
+//! running benchmarks (used by the CI bench-smoke and fleet-smoke jobs).
 
 use longlook_bench::json::{self, Json};
 use longlook_core::prelude::*;
@@ -46,7 +54,7 @@ use longlook_sim::{EventQueue, PayloadPool, SchedKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SCHEMA: &str = "longlook-bench-events-v3";
+const SCHEMA: &str = "longlook-bench-events-v4";
 const SCHED_ENV: &str = "LONGLOOK_SCHED";
 const WIRE_ENV: &str = "LONGLOOK_WIRE";
 const BATCH_ENV: &str = "LONGLOOK_BATCH";
@@ -75,7 +83,42 @@ const BATCH_SPEEDUP_BAR: f64 = 1.4;
 /// at ~2.3), not slow runners.
 const BATCH_ABS_BAR_MEV_S: f64 = 3.0;
 
-/// Keys `--check` requires under `"benchmarks"`.
+/// Minimum accepted absolute rate on `bulk_tcp_batched`, in Mev/s. This
+/// replaces the old `batch_bulk_tcp_speedup` ratio gate: the TCP cell's
+/// batched/per-event ratio hovers around 1.0-1.1x (TCP's kernel-class
+/// packets never took the userspace batching that QUIC did), so the
+/// ratio was pure noise — a gate on it said nothing about TCP being fast
+/// and flaked whenever the denominator had a good run (measured ratios
+/// span 0.9-1.1x). What CI actually cares about is that the TCP cell
+/// holds its absolute rate: measured 4.2-4.7 Mev/s median on this
+/// machine, so the 3.5 floor sits under the plateau by more than the
+/// noise band (same convention as [`BATCH_ABS_BAR_MEV_S`]) and trips on
+/// real regressions, not slow runners.
+const TCP_BATCH_ABS_BAR_MEV_S: f64 = 3.5;
+
+/// Maximum accepted `arena_bytes_peak` on `fleet_100k`: the whole
+/// 100k-connection flash crowd must fit its per-connection state in
+/// 64 MiB of arena (the acceptance budget; measured ~4 MB).
+const FLEET_ARENA_BYTES_BAR: u64 = 64 * 1024 * 1024;
+
+/// Maximum accepted `bytes_per_conn` on the fleet cells: arena bytes at
+/// the concurrency high-water mark, per live connection. Budgeted at
+/// 650 B; the struct-of-arrays layout measures ~40-90 B.
+const FLEET_BYTES_PER_CONN_BAR: f64 = 650.0;
+
+/// Minimum accepted absolute event rate on the fleet cells, in Mev/s.
+/// Measured 7-8.5 Mev/s median on both cells (the fleet loop touches a
+/// few dense columns per event, so it runs well above the packet-level
+/// cells); the bar sits below the plateau by more than the noise band,
+/// same convention as the other absolute bars.
+const FLEET_ABS_BAR_MEV_S: f64 = 4.0;
+
+/// Fleet cells: present in every document, the only requirement for
+/// `"subset": "fleet"` documents.
+const FLEET_BENCHES: [&str; 2] = ["fleet_10k", "fleet_100k"];
+
+/// Keys `--check` requires under `"benchmarks"` for full documents
+/// (plus [`FLEET_BENCHES`]).
 const REQUIRED_BENCHES: [&str; 14] = [
     "sched_bulk_wheel",
     "sched_bulk_heap",
@@ -115,11 +158,23 @@ fn main() {
     }
 
     println!(
-        "perfbench: {} iters, {} warmup, writing {}",
-        cfg.iters, cfg.warmup, cfg.out
+        "perfbench: {} iters, {} warmup, writing {}{}",
+        cfg.iters,
+        cfg.warmup,
+        cfg.out,
+        if cfg.fleet_only {
+            " (fleet cells only)"
+        } else {
+            ""
+        }
     );
 
     let mut out = Report::new(&cfg);
+    if cfg.fleet_only {
+        run_fleet_cells(&cfg, &mut out);
+        finish_report(&cfg, out);
+        return;
+    }
 
     // --- Scheduler microbenchmark ------------------------------------
     let wheel = bench_sched(&cfg, SchedKind::Wheel);
@@ -268,6 +323,31 @@ fn main() {
         None => std::env::remove_var(WIRE_ENV),
     }
 
+    // --- Fleet-scale cells -------------------------------------------
+    run_fleet_cells(&cfg, &mut out);
+
+    finish_report(&cfg, out);
+}
+
+/// The flash-crowd fleet cells shared by full runs and `--only fleet`.
+fn run_fleet_cells(cfg: &Config, out: &mut Report) {
+    for (name, n) in [("fleet_10k", 10_000usize), ("fleet_100k", 100_000)] {
+        let cell = bench_fleet(cfg, n);
+        println!(
+            "{name}: {:.2} Mev/s ({} events, peak {} scheduled, peak {} live, \
+             arena {} B = {:.0} B/conn)",
+            cell.samples.median_mev_s(),
+            cell.samples.events,
+            cell.samples.peak,
+            cell.peak_live,
+            cell.arena_bytes_peak,
+            cell.bytes_per_conn(),
+        );
+        out.push_fleet(name, &cell);
+    }
+}
+
+fn finish_report(cfg: &Config, out: Report) {
     let doc = out.finish();
     if let Err(e) = std::fs::write(&cfg.out, &doc) {
         eprintln!("perfbench: failed to write {}: {e}", cfg.out);
@@ -290,6 +370,8 @@ struct Config {
     warmup: usize,
     out: String,
     check: Option<String>,
+    /// `--only fleet`: run just the fleet cells and stamp the subset tag.
+    fleet_only: bool,
 }
 
 impl Config {
@@ -299,6 +381,7 @@ impl Config {
             warmup: 1,
             out: "BENCH_events.json".to_string(),
             check: None,
+            fleet_only: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -316,6 +399,10 @@ impl Config {
                 }
                 "--out" => cfg.out = want("--out")?,
                 "--check" => cfg.check = Some(want("--check")?),
+                "--only" => match want("--only")?.as_str() {
+                    "fleet" => cfg.fleet_only = true,
+                    other => return Err(format!("--only: unknown subset {other:?}")),
+                },
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -457,6 +544,51 @@ fn bench_bulk_cell(cfg: &Config, proto: &ProtoConfig) -> Samples {
     })
 }
 
+/// One fleet cell's samples plus its arena accounting.
+struct FleetCell {
+    samples: Samples,
+    conns: u64,
+    peak_live: u64,
+    arena_bytes_peak: u64,
+}
+
+impl FleetCell {
+    fn bytes_per_conn(&self) -> f64 {
+        if self.peak_live == 0 {
+            0.0
+        } else {
+            self.arena_bytes_peak as f64 / self.peak_live as f64
+        }
+    }
+}
+
+/// One flash-crowd fleet of `n` QUIC clients per iteration. Deterministic
+/// in `n`, so events / peaks / arena bytes are iteration-invariant.
+fn bench_fleet(cfg: &Config, n: usize) -> FleetCell {
+    let fleet_cfg = FleetConfig::new(n);
+    let proto = ProtoConfig::Quic(QuicConfig::default());
+    let mut arena_bytes_peak = 0u64;
+    let mut peak_live = 0u64;
+    let mut completed = 0u64;
+    let samples = run_bench(cfg, || {
+        let m = run_fleet(&proto, &fleet_cfg);
+        arena_bytes_peak = m.arena_bytes_peak as u64;
+        peak_live = m.peak_live as u64;
+        completed = m.completed;
+        (m.events, m.scheduled_peak as u64)
+    });
+    assert!(
+        completed > (n as u64 * 9) / 10,
+        "fleet of {n}: only {completed} connections completed"
+    );
+    FleetCell {
+        samples,
+        conns: n as u64,
+        peak_live,
+        arena_bytes_peak,
+    }
+}
+
 /// Encodes per encode-benchmark iteration.
 const ENCODE_OPS: u64 = 200_000;
 
@@ -536,10 +668,16 @@ struct Report {
 impl Report {
     fn new(cfg: &Config) -> Report {
         let mut body = String::new();
+        let subset = if cfg.fleet_only {
+            "\n  \"subset\": \"fleet\","
+        } else {
+            ""
+        };
         let _ = write!(
             body,
-            "{{\n  \"schema\": \"{}\",\n  \"iters\": {},\n  \"warmup\": {},\n  \"benchmarks\": {{",
+            "{{\n  \"schema\": \"{}\",{}\n  \"iters\": {},\n  \"warmup\": {},\n  \"benchmarks\": {{",
             json::escape(SCHEMA),
+            subset,
             cfg.iters,
             cfg.warmup
         );
@@ -605,6 +743,26 @@ impl Report {
         );
     }
 
+    fn push_fleet(&mut self, name: &str, c: &FleetCell) {
+        self.entry(
+            name,
+            &format!(
+                "{{\"median_mev_s\": {}, \"median_s\": {}, \"min_s\": {}, \"events\": {}, \
+                 \"scheduled_peak\": {}, \"conns\": {}, \"peak_live\": {}, \
+                 \"arena_bytes_peak\": {}, \"bytes_per_conn\": {}}}",
+                num(c.samples.median_mev_s()),
+                num(c.samples.median_s()),
+                num(c.samples.min_s()),
+                c.samples.events,
+                c.samples.peak,
+                c.conns,
+                c.peak_live,
+                c.arena_bytes_peak,
+                num(c.bytes_per_conn())
+            ),
+        );
+    }
+
     fn push_scalar(&mut self, name: &str, v: f64) {
         self.entry(name, &num(v));
     }
@@ -626,13 +784,20 @@ fn num(v: f64) -> String {
 }
 
 /// Validate an emitted `BENCH_events.json`: schema tag, all benchmark
-/// keys present, every headline number finite and positive.
+/// keys present, every headline number finite and positive, and the
+/// perf/memory bars. Documents stamped `"subset": "fleet"` (from
+/// `--only fleet`) are held to the fleet benches and bars only.
 fn check_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         return Err(format!("schema tag is not \"{SCHEMA}\""));
     }
+    let fleet_subset = match doc.get("subset").and_then(Json::as_str) {
+        None => false,
+        Some("fleet") => true,
+        Some(other) => return Err(format!("unknown subset {other:?}")),
+    };
     for key in ["iters", "warmup"] {
         let v = doc
             .get(key)
@@ -645,7 +810,16 @@ fn check_file(path: &str) -> Result<String, String> {
     let benches = doc
         .get("benchmarks")
         .ok_or_else(|| "missing \"benchmarks\" object".to_string())?;
-    for name in REQUIRED_BENCHES {
+    let required: Vec<&str> = if fleet_subset {
+        FLEET_BENCHES.to_vec()
+    } else {
+        REQUIRED_BENCHES
+            .iter()
+            .chain(FLEET_BENCHES.iter())
+            .copied()
+            .collect()
+    };
+    for name in &required {
         let b = benches
             .get(name)
             .ok_or_else(|| format!("missing benchmark \"{name}\""))?;
@@ -660,6 +834,16 @@ fn check_file(path: &str) -> Result<String, String> {
             }
         }
     }
+
+    // Fleet bars apply to every document (fleet cells always run).
+    let fleet_summary = check_fleet_bars(benches)?;
+    if fleet_subset {
+        return Ok(format!(
+            "{path}: valid fleet subset ({} benchmarks, {fleet_summary})",
+            required.len()
+        ));
+    }
+
     let speedup = benches
         .get("sched_bulk_speedup")
         .and_then(Json::as_f64)
@@ -667,12 +851,15 @@ fn check_file(path: &str) -> Result<String, String> {
     if speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err("\"sched_bulk_speedup\" is not positive".to_string());
     }
+    // `batch_bulk_tcp_speedup` is deliberately absent here: the TCP
+    // batched/per-event ratio is ~1.0x by design (kernel-class packets
+    // never took the userspace batching), so gating the ratio was noise.
+    // The absolute `bulk_tcp_batched` floor below replaces it.
     for name in [
         "wire_bulk_quic_speedup",
         "wire_bulk_tcp_speedup",
         "wire_sweep_speedup",
         "batch_bulk_quic_speedup",
-        "batch_bulk_tcp_speedup",
     ] {
         let v = benches
             .get(name)
@@ -715,8 +902,71 @@ fn check_file(path: &str) -> Result<String, String> {
             "\"bulk_quic_batched\" {batch_rate:.3} Mev/s is below the {BATCH_ABS_BAR_MEV_S} Mev/s bar"
         ));
     }
+    let tcp_rate = benches
+        .get("bulk_tcp_batched")
+        .and_then(|b| b.get("median_mev_s"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if tcp_rate < TCP_BATCH_ABS_BAR_MEV_S {
+        return Err(format!(
+            "\"bulk_tcp_batched\" {tcp_rate:.3} Mev/s is below the {TCP_BATCH_ABS_BAR_MEV_S} Mev/s bar"
+        ));
+    }
     Ok(format!(
-        "{path}: valid ({} benchmarks, sched speedup {speedup:.2}x, wire speedup {wire_speedup:.2}x, batch speedup {batch_speedup:.2}x, batched quic {batch_rate:.2} Mev/s)",
-        REQUIRED_BENCHES.len()
+        "{path}: valid ({} benchmarks, sched speedup {speedup:.2}x, wire speedup {wire_speedup:.2}x, batch speedup {batch_speedup:.2}x, batched quic {batch_rate:.2} Mev/s, batched tcp {tcp_rate:.2} Mev/s, {fleet_summary})",
+        required.len()
     ))
+}
+
+/// Memory and rate bars for the fleet cells.
+fn check_fleet_bars(benches: &Json) -> Result<String, String> {
+    let mut rate_100k = 0.0;
+    for name in FLEET_BENCHES {
+        let b = benches
+            .get(name)
+            .ok_or_else(|| format!("missing benchmark \"{name}\""))?;
+        let conns = b
+            .get("conns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{name}: missing \"conns\""))?;
+        let expected = if name == "fleet_100k" {
+            100_000.0
+        } else {
+            10_000.0
+        };
+        if conns != expected {
+            return Err(format!("{name}: \"conns\" is {conns}, expected {expected}"));
+        }
+        let rate = b
+            .get("median_mev_s")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{name}: missing \"median_mev_s\""))?;
+        if rate < FLEET_ABS_BAR_MEV_S {
+            return Err(format!(
+                "{name}: {rate:.3} Mev/s is below the {FLEET_ABS_BAR_MEV_S} Mev/s bar"
+            ));
+        }
+        let bytes = b
+            .get("arena_bytes_peak")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{name}: missing \"arena_bytes_peak\""))?;
+        if bytes > FLEET_ARENA_BYTES_BAR as f64 {
+            return Err(format!(
+                "{name}: arena_bytes_peak {bytes:.0} exceeds the {FLEET_ARENA_BYTES_BAR} B bar"
+            ));
+        }
+        let per_conn = b
+            .get("bytes_per_conn")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{name}: missing \"bytes_per_conn\""))?;
+        if per_conn > FLEET_BYTES_PER_CONN_BAR {
+            return Err(format!(
+                "{name}: bytes_per_conn {per_conn:.0} exceeds the {FLEET_BYTES_PER_CONN_BAR} B bar"
+            ));
+        }
+        if name == "fleet_100k" {
+            rate_100k = rate;
+        }
+    }
+    Ok(format!("fleet_100k {rate_100k:.2} Mev/s"))
 }

@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod calib;
 pub mod fairness_exp;
+pub mod fleet_exp;
 pub mod heatmaps;
 pub mod historical;
 pub mod statemachines;
@@ -64,6 +65,10 @@ pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
             "trauma",
             "fault-injection sweep: completion and typed errors under trauma",
         ),
+        (
+            "fleet",
+            "fleet-scale tail latency: arrival profiles x load, QUIC vs TCP p99",
+        ),
     ]
 }
 
@@ -102,6 +107,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "ablation_nconn" => ablations::nconn(),
         "ablation_bbr" => ablations::bbr(),
         "trauma" => trauma_sweep::trauma(),
+        "fleet" => fleet_exp::fleet(),
         _ => return None,
     };
     Some(out)

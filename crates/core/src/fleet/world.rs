@@ -1,0 +1,328 @@
+//! The fleet event loop: N clients against server pools over shared
+//! bottleneck links, at flight granularity.
+//!
+//! A fleet cell does not build N packet-level testbeds — that is what
+//! the arena-backed model avoids. Each connection advances in *flights*:
+//! one event per congestion window of data, charged against a fluid model
+//! of its bottleneck link (a busy horizon per link; queueing delay is the
+//! gap between "now" and the horizon, and a flight that would wait longer
+//! than the buffer drains is marked lost). Handshakes are charged as
+//! whole RTTs from the protocol configs' `handshake_rtts` — QUIC's 0/1
+//! RTT versus TCP+TLS's 3 — which is exactly the asymmetry the paper's
+//! Fig 7 isolates, scaled up to a population.
+//!
+//! Everything is a pure function of the [`FleetConfig`] (including its
+//! seed): per-connection draws come from `hash_unit` streams keyed by
+//! connection and flight number, never from shared mutable RNG state, so
+//! a fleet cell is bit-identical no matter how cells are scheduled across
+//! worker threads.
+
+use longlook_http::host::ProtoConfig;
+use longlook_http::workload::fleet_object_bytes;
+use longlook_sim::rng::hash_unit;
+use longlook_sim::sched::{EventQueue, SchedKind};
+use longlook_sim::time::{Dur, Time};
+use longlook_sim::SlotHandle;
+use longlook_stats::{QuantileSketch, Summary};
+
+use super::arena::{ConnArena, ConnInit};
+use super::FleetConfig;
+use crate::runner::note_cell_events;
+
+/// Hash-stream salts: one independent draw stream per decision kind.
+const SALT_SIZE: u64 = 0x517E_0000_0000_0001;
+const SALT_ARRIVE: u64 = 0x4121_0000_0000_0002;
+const SALT_RTT: u64 = 0x0177_0000_0000_0003;
+const SALT_REPEAT: u64 = 0x0E77_0000_0000_0004;
+const SALT_LOSS: u64 = 0x1055_0000_0000_0005;
+
+/// One scheduled occurrence in a fleet world.
+enum FleetEvent {
+    /// The `k`-th client arrives (chained: processing arrival `k`
+    /// schedules arrival `k + 1`, so the queue holds one at a time).
+    Arrival(u32),
+    /// A flight's ack returns. `delivered` bytes made it; `lost` marks a
+    /// congestion or random loss in the flight.
+    Ack {
+        h: SlotHandle,
+        delivered: u32,
+        lost: bool,
+    },
+    /// The per-connection completion deadline.
+    Deadline(SlotHandle),
+}
+
+/// Everything a fleet run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Events processed (arrivals + acks + deadlines).
+    pub events: u64,
+    /// Peak simultaneously scheduled events in the queue.
+    pub scheduled_peak: usize,
+    /// Peak simultaneously live connections.
+    pub peak_live: usize,
+    /// Peak connection-arena heap bytes (columns + slot pool).
+    pub arena_bytes_peak: usize,
+    /// Connections that delivered their full object before the deadline.
+    pub completed: u64,
+    /// Connections cut off at the deadline.
+    pub timed_out: u64,
+    /// Completion latency (ms), streaming mean/variance — no per-sample
+    /// vector is ever retained.
+    pub latency_ms: Summary,
+    /// Completion latency (ms), log-bucketed tail sketch.
+    pub latency_sketch: QuantileSketch,
+    /// Simulated time when the last event fired.
+    pub finished_at: Time,
+}
+
+impl FleetMetrics {
+    /// Median completion latency (ms).
+    pub fn p50_ms(&self) -> f64 {
+        self.latency_sketch.p50()
+    }
+
+    /// 99th-percentile completion latency (ms).
+    pub fn p99_ms(&self) -> f64 {
+        self.latency_sketch.p99()
+    }
+
+    /// 99.9th-percentile completion latency (ms).
+    pub fn p999_ms(&self) -> f64 {
+        self.latency_sketch.p999()
+    }
+
+    /// Peak arena bytes per connection at the concurrency high-water
+    /// mark — the number the 650 B/connection budget gates.
+    pub fn bytes_per_conn(&self) -> f64 {
+        if self.peak_live == 0 {
+            0.0
+        } else {
+            self.arena_bytes_peak as f64 / self.peak_live as f64
+        }
+    }
+}
+
+/// Per-world constants derived from the protocol config.
+struct ProtoModel {
+    mss: u32,
+    init_cwnd: u32,
+    max_cwnd: u32,
+    /// Handshake RTTs when the client has no cached server state.
+    hs_cold: u32,
+    /// Handshake RTTs on a repeat visit (QUIC 0-RTT when enabled).
+    hs_repeat: u32,
+}
+
+impl ProtoModel {
+    fn of(proto: &ProtoConfig) -> ProtoModel {
+        match proto {
+            ProtoConfig::Quic(q) => {
+                let mss = q.mss as u32;
+                ProtoModel {
+                    mss,
+                    init_cwnd: q.cubic.initial_cwnd_packets as u32 * mss,
+                    max_cwnd: q
+                        .cubic
+                        .max_cwnd_packets
+                        .map_or(q.conn_recv_window_max, |p| p * q.mss)
+                        as u32,
+                    hs_cold: q.handshake_rtts(false),
+                    hs_repeat: q.handshake_rtts(true),
+                }
+            }
+            ProtoConfig::Tcp(t) => {
+                let mss = t.mss as u32;
+                ProtoModel {
+                    mss,
+                    init_cwnd: t.cubic.initial_cwnd_packets as u32 * mss,
+                    max_cwnd: t
+                        .cubic
+                        .max_cwnd_packets
+                        .map_or(t.recv_buffer, |p| p * t.mss) as u32,
+                    hs_cold: t.handshake_rtts(),
+                    hs_repeat: t.handshake_rtts(),
+                }
+            }
+        }
+    }
+}
+
+struct World<'a> {
+    cfg: &'a FleetConfig,
+    model: ProtoModel,
+    queue: EventQueue<FleetEvent>,
+    arena: ConnArena,
+    /// Fluid busy horizon per bottleneck link (ns).
+    link_busy_ns: Vec<u64>,
+    /// Serialization cost on the cross-traffic-reduced link (ns/byte).
+    ns_per_byte: f64,
+    buffer_ns: u64,
+    metrics: FleetMetrics,
+}
+
+/// Run one fleet cell to completion. Deterministic in `cfg` (including
+/// `cfg.seed`) and `proto`; independent of thread scheduling, the
+/// `LONGLOOK_SCHED` backend, and everything else environmental.
+pub fn run_fleet(proto: &ProtoConfig, cfg: &FleetConfig) -> FleetMetrics {
+    let eff_mbps = cfg.link_mbps * (1.0 - cfg.cross_traffic_frac).max(1e-3);
+    let mut w = World {
+        cfg,
+        model: ProtoModel::of(proto),
+        queue: EventQueue::new(SchedKind::from_env()),
+        arena: ConnArena::with_capacity((cfg.n_conns / 4).max(16)),
+        link_busy_ns: vec![0; cfg.n_links.max(1)],
+        // mbps → bytes/ns is mbps / 8000; invert for ns/byte.
+        ns_per_byte: 8000.0 / eff_mbps,
+        buffer_ns: cfg.buffer.as_nanos(),
+        metrics: FleetMetrics {
+            events: 0,
+            scheduled_peak: 0,
+            peak_live: 0,
+            arena_bytes_peak: 0,
+            completed: 0,
+            timed_out: 0,
+            latency_ms: Summary::new(),
+            latency_sketch: QuantileSketch::new(),
+            finished_at: Time::ZERO,
+        },
+    };
+    if cfg.n_conns > 0 {
+        let t0 = w.arrival_time(0);
+        w.queue.push(Time::ZERO + t0, FleetEvent::Arrival(0));
+    }
+    while let Some((now, ev)) = w.queue.pop() {
+        w.metrics.events += 1;
+        w.metrics.finished_at = now;
+        match ev {
+            FleetEvent::Arrival(k) => w.on_arrival(now, k),
+            FleetEvent::Ack { h, delivered, lost } => w.on_ack(now, h, delivered, lost),
+            FleetEvent::Deadline(h) => {
+                // Completed connections freed their slot; the generation
+                // check rejects the stale handle and the deadline is moot.
+                if w.arena.free(h) {
+                    w.metrics.timed_out += 1;
+                }
+            }
+        }
+    }
+    w.metrics.scheduled_peak = w.queue.scheduled_peak();
+    w.metrics.peak_live = w.arena.live_peak();
+    w.metrics.arena_bytes_peak = w.metrics.arena_bytes_peak.max(w.arena.bytes());
+    note_cell_events(w.metrics.events);
+    w.metrics
+}
+
+impl World<'_> {
+    /// Arrival offset of client `k` under the configured profile.
+    fn arrival_time(&self, k: u32) -> Dur {
+        let u = hash_unit(self.cfg.seed ^ SALT_ARRIVE, k.into());
+        self.cfg
+            .profile
+            .time_at(self.cfg.window, k, self.cfg.n_conns as u32, u)
+    }
+
+    fn on_arrival(&mut self, now: Time, k: u32) {
+        if (k as usize) + 1 < self.cfg.n_conns {
+            let t = self.arrival_time(k + 1);
+            self.queue.push(Time::ZERO + t, FleetEvent::Arrival(k + 1));
+        }
+        let object = fleet_object_bytes(hash_unit(self.cfg.seed ^ SALT_SIZE, k.into())) as u32;
+        let rtt_jitter = hash_unit(self.cfg.seed ^ SALT_RTT, k.into());
+        let rtt_us = (self.cfg.base_rtt.as_nanos() as f64 / 1_000.0
+            * (1.0 + self.cfg.rtt_jitter_frac * rtt_jitter)) as u32;
+        let h = self.arena.alloc(ConnInit {
+            arrived: now,
+            object,
+            cwnd: self.model.init_cwnd,
+            ssthresh: self.model.max_cwnd,
+            rtt_us,
+            link: (k as usize % self.cfg.n_links.max(1)) as u16,
+            server: (k as usize % self.cfg.n_servers.max(1)) as u16,
+        });
+        self.metrics.arena_bytes_peak = self.metrics.arena_bytes_peak.max(self.arena.bytes());
+        self.queue
+            .push(now + self.cfg.deadline, FleetEvent::Deadline(h));
+        let repeat = hash_unit(self.cfg.seed ^ SALT_REPEAT, k.into()) < self.cfg.repeat_visit_frac;
+        let hs_rtts = if repeat {
+            self.model.hs_repeat
+        } else {
+            self.model.hs_cold
+        };
+        if hs_rtts == 0 {
+            // 0-RTT: the first flight rides the handshake packet.
+            self.send_flight(now, h);
+        } else {
+            let hs = Dur::from_nanos(u64::from(hs_rtts) * u64::from(rtt_us) * 1_000);
+            self.queue.push(
+                now + hs,
+                FleetEvent::Ack {
+                    h,
+                    delivered: 0,
+                    lost: false,
+                },
+            );
+        }
+    }
+
+    /// Send one congestion window of data and schedule its ack, charging
+    /// the shared link's fluid queue.
+    fn send_flight(&mut self, now: Time, h: SlotHandle) {
+        let i = self.arena.resolve(h).expect("send_flight on stale handle");
+        let flight = self.arena.remaining[i].min(self.arena.cwnd[i]).max(1);
+        let f = self.arena.flights[i];
+        self.arena.flights[i] = f.saturating_add(1);
+        let li = self.arena.link[i] as usize;
+        let now_ns = now.as_nanos();
+        let wait_ns = self.link_busy_ns[li].saturating_sub(now_ns);
+        let ser_ns = (f64::from(flight) * self.ns_per_byte).round() as u64;
+        self.link_busy_ns[li] = self.link_busy_ns[li].max(now_ns) + ser_ns;
+        // Congestion loss: the flight would queue past the buffer's drain
+        // time. Random loss: an independent per-flight draw keyed by the
+        // handle's (generation, index) so recycled slots get fresh streams.
+        let key =
+            (u64::from(h.generation()) << 32) | ((h.index() as u64) << 12) | (u64::from(f) & 0xfff);
+        let lost =
+            wait_ns > self.buffer_ns || hash_unit(self.cfg.seed ^ SALT_LOSS, key) < self.cfg.loss;
+        let delivered = if lost { flight / 2 } else { flight };
+        let rtt_ns = u64::from(self.arena.rtt_us[i]) * 1_000;
+        let service_ns = self.cfg.server_service.as_nanos() * (1 + u64::from(self.arena.server[i]));
+        self.queue.push(
+            now + Dur::from_nanos(wait_ns + ser_ns + rtt_ns + service_ns),
+            FleetEvent::Ack { h, delivered, lost },
+        );
+    }
+
+    fn on_ack(&mut self, now: Time, h: SlotHandle, delivered: u32, lost: bool) {
+        // Stale = the deadline already retired this connection.
+        let Some(i) = self.arena.resolve(h) else {
+            return;
+        };
+        let mss = self.model.mss;
+        if lost {
+            self.arena.retx[i] = self.arena.retx[i].saturating_add(1);
+            let half = (self.arena.cwnd[i] / 2).max(2 * mss);
+            self.arena.ssthresh[i] = half;
+            self.arena.cwnd[i] = half;
+        } else if self.arena.cwnd[i] < self.arena.ssthresh[i] {
+            // Slow start: grow by the bytes acked.
+            self.arena.cwnd[i] =
+                (self.arena.cwnd[i].saturating_add(delivered)).min(self.model.max_cwnd);
+        } else {
+            // Congestion avoidance: ~one MSS per cwnd of acked data.
+            let grow = (u64::from(mss) * u64::from(delivered)
+                / u64::from(self.arena.cwnd[i].max(1))) as u32;
+            self.arena.cwnd[i] = (self.arena.cwnd[i].saturating_add(grow)).min(self.model.max_cwnd);
+        }
+        self.arena.remaining[i] = self.arena.remaining[i].saturating_sub(delivered);
+        if self.arena.remaining[i] == 0 {
+            let latency_ms = (now.as_nanos().saturating_sub(self.arena.arrived_ns[i])) as f64 / 1e6;
+            self.metrics.latency_ms.add(latency_ms);
+            self.metrics.latency_sketch.add(latency_ms);
+            self.metrics.completed += 1;
+            self.arena.free(h);
+        } else {
+            self.send_flight(now, h);
+        }
+    }
+}

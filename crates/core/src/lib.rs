@@ -41,6 +41,7 @@ pub mod calibration;
 pub mod cellular;
 pub mod experiment;
 pub mod fairness;
+pub mod fleet;
 pub mod params;
 pub mod rootcause;
 pub mod runner;
@@ -61,6 +62,10 @@ pub mod prelude {
     };
     pub use crate::fairness::{
         fairness_net, quic_vs_n_tcp, run_fairness, FairnessRun, FlowThroughput,
+    };
+    pub use crate::fleet::{
+        fleet_heatmap, fleet_n, run_fleet, ArrivalProfile, ConnArena, ConnInit, FleetConfig,
+        FleetMetrics,
     };
     pub use crate::params::{render_table1, ParameterSpace};
     pub use crate::rootcause::{compare_machines, infer_from_records};

@@ -69,18 +69,6 @@ pub enum Parallelism {
     Threads(usize),
 }
 
-/// Warn exactly once per process about an unparsable environment knob, so
-/// a misconfigured CI run (`LONGLOOK_JOBS=four`) is visible on stderr
-/// instead of silently falling back to auto-detection.
-fn warn_bad_env(var: &str, value: &str, fallback: &str, once: &'static Once) {
-    once.call_once(|| {
-        eprintln!(
-            "warning: ignoring unparsable {var}={value:?} (expected a non-negative \
-             integer); using {fallback}"
-        );
-    });
-}
-
 impl Parallelism {
     /// The environment variable overriding the default worker count.
     pub const JOBS_ENV: &'static str = "LONGLOOK_JOBS";
@@ -91,21 +79,20 @@ impl Parallelism {
     /// warning on stderr.
     pub fn auto() -> Self {
         static WARNED: Once = Once::new();
-        let hardware = || {
-            Parallelism::Threads(
+        // An unset *or* unparsable value (warned once via the shared knob
+        // parser) falls back to one worker per hardware thread.
+        match longlook_wire::env_knob(
+            Self::JOBS_ENV,
+            "a non-negative integer",
+            "hardware thread count",
+            &WARNED,
+            |v| v.trim().parse::<usize>().ok(),
+        ) {
+            Some(0) | Some(1) => Parallelism::Serial,
+            Some(n) => Parallelism::Threads(n),
+            None => Parallelism::Threads(
                 thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            )
-        };
-        match std::env::var(Self::JOBS_ENV) {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(0) | Ok(1) => Parallelism::Serial,
-                Ok(n) => Parallelism::Threads(n),
-                Err(_) => {
-                    warn_bad_env(Self::JOBS_ENV, &v, "hardware thread count", &WARNED);
-                    hardware()
-                }
-            },
-            Err(_) => hardware(),
+            ),
         }
     }
 
@@ -136,16 +123,13 @@ const CHUNKS_PER_WORKER: usize = 8;
 /// per atomic op, while small batches keep chunk 1 and lose nothing.
 pub fn chunk_size(n: usize, jobs: usize) -> usize {
     static WARNED: Once = Once::new();
-    let configured = match std::env::var(CHUNK_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(c) => Some(c),
-            Err(_) => {
-                warn_bad_env(CHUNK_ENV, &v, "auto-tuned chunk size", &WARNED);
-                None
-            }
-        },
-        Err(_) => None,
-    };
+    let configured = longlook_wire::env_knob(
+        CHUNK_ENV,
+        "a non-negative integer",
+        "auto-tuned chunk size",
+        &WARNED,
+        |v| v.trim().parse::<usize>().ok(),
+    );
     match configured {
         Some(c) if c > 0 => c,
         _ => n

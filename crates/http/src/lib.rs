@@ -8,7 +8,7 @@ pub mod workload;
 
 pub use app::{BulkClient, ClientApp, ResourceTiming, WebClient};
 pub use host::{ClientHost, ProtoConfig, ServerHost, WaitModel};
-pub use workload::{table2, PageSpec, REQUEST_BASE, RESPONSE_HEADER};
+pub use workload::{fleet_object_bytes, table2, PageSpec, REQUEST_BASE, RESPONSE_HEADER};
 
 #[cfg(test)]
 mod world_tests {

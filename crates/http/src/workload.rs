@@ -82,6 +82,36 @@ pub mod table2 {
     pub const LOSS_RATES: [f64; 2] = [0.001, 0.01];
 }
 
+/// Transfer size for one fleet connection, drawn from a heavy-tailed
+/// mixture over Table 2's object sizes via a unit uniform `u` in `[0, 1)`.
+///
+/// Fleet-scale cells need a population of transfers rather than one fixed
+/// page: mostly small fetches with a long tail of large ones, which is
+/// what makes tail latency interesting under shared bottlenecks. The
+/// mixture is 60% small (5–10 KB), 30% medium (100–500 KB), 9% large
+/// (1 MB) and 1% huge (10 MB) — all drawn from the paper's own size axis
+/// so fleet results stay comparable to the 1-vs-1 grid. Deterministic:
+/// the same `u` (e.g. from `hash_unit`) always yields the same size.
+pub fn fleet_object_bytes(u: f64) -> u64 {
+    let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+    if u < 0.60 {
+        // Small: interpolate the 5 KB / 10 KB pair.
+        if u < 0.30 {
+            table2::OBJECT_SIZES[0]
+        } else {
+            table2::OBJECT_SIZES[1]
+        }
+    } else if u < 0.90 {
+        // Medium: 100 / 200 / 500 KB, equal thirds.
+        let band = ((u - 0.60) / 0.10) as usize;
+        table2::OBJECT_SIZES[2 + band.min(2)]
+    } else if u < 0.99 {
+        table2::OBJECT_SIZES[5]
+    } else {
+        table2::OBJECT_SIZES[6]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +138,27 @@ mod tests {
         assert_eq!(table2::OBJECT_SIZES.len(), 7);
         assert_eq!(table2::OBJECT_COUNTS, [1, 2, 5, 10, 100, 200]);
         assert_eq!(table2::RATES_MBPS, [5.0, 10.0, 50.0, 100.0]);
+    }
+
+    #[test]
+    fn fleet_mixture_covers_table2_sizes_with_heavy_tail() {
+        // Every draw must land on a Table 2 size; band boundaries hit the
+        // documented proportions.
+        let n = 10_000;
+        let mut huge = 0;
+        for i in 0..n {
+            let u = i as f64 / n as f64;
+            let b = fleet_object_bytes(u);
+            assert!(table2::OBJECT_SIZES.contains(&b), "{b} not a Table 2 size");
+            if b == 10 * 1024 * 1024 {
+                huge += 1;
+            }
+        }
+        assert_eq!(huge, n / 100, "huge tail should be 1%");
+        assert_eq!(fleet_object_bytes(0.0), 5 * 1024);
+        assert_eq!(fleet_object_bytes(0.995), 10 * 1024 * 1024);
+        // Out-of-range inputs clamp instead of panicking.
+        assert_eq!(fleet_object_bytes(1.0), 10 * 1024 * 1024);
+        assert_eq!(fleet_object_bytes(-0.5), 5 * 1024);
     }
 }

@@ -147,6 +147,20 @@ impl QuicConfig {
         cfg.cubic.num_connections = 1;
         cfg
     }
+
+    /// Round trips spent on connection establishment before request data
+    /// can flow: 0 when a cached server config allows 0-RTT (Fig 7's
+    /// repeat-visit case), otherwise 1 for the full REJ/SHLO exchange.
+    ///
+    /// Used by the fleet world's flight-granular model, where handshakes
+    /// are charged as whole RTTs rather than simulated packet by packet.
+    pub fn handshake_rtts(&self, zero_rtt_available: bool) -> u32 {
+        if zero_rtt_available && self.zero_rtt_enabled && self.zero_rtt_accept {
+            0
+        } else {
+            1
+        }
+    }
 }
 
 #[cfg(test)]

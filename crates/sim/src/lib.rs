@@ -12,6 +12,7 @@
 //! makes the paper's methodology — back-to-back comparisons, at least 10
 //! rounds, statistical significance gates — exactly repeatable here.
 
+pub mod arena;
 pub mod device;
 pub mod fault;
 pub mod link;
@@ -22,6 +23,7 @@ pub mod schedule;
 pub mod time;
 pub mod world;
 
+pub use arena::{SlotHandle, SlotPool};
 pub use device::{DeviceCpu, DeviceProfile};
 pub use fault::{
     FaultDir, FaultEvent, FaultKind, FaultPlan, GeChain, GeParams, LinkFault, PeerSide,

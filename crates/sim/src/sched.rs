@@ -85,21 +85,23 @@ impl SchedKind {
     /// Read on every call (not cached) so differential tests and benches
     /// can flip the variable between `World` constructions in one process.
     pub fn from_env() -> SchedKind {
-        match std::env::var("LONGLOOK_SCHED") {
-            Ok(v) if v.eq_ignore_ascii_case("heap") => SchedKind::Heap,
-            Ok(v) if v.eq_ignore_ascii_case("wheel") || v.is_empty() => SchedKind::Wheel,
-            Ok(v) => {
-                static WARN: Once = Once::new();
-                WARN.call_once(|| {
-                    eprintln!(
-                        "warning: unrecognized LONGLOOK_SCHED={v:?} (expected \
-                         \"wheel\" or \"heap\"); using wheel"
-                    );
-                });
-                SchedKind::Wheel
-            }
-            Err(_) => SchedKind::Wheel,
-        }
+        static WARN: Once = Once::new();
+        longlook_wire::env_knob(
+            "LONGLOOK_SCHED",
+            "\"wheel\" or \"heap\"",
+            "wheel",
+            &WARN,
+            |v| {
+                if v.eq_ignore_ascii_case("heap") {
+                    Some(SchedKind::Heap)
+                } else if v.eq_ignore_ascii_case("wheel") || v.is_empty() {
+                    Some(SchedKind::Wheel)
+                } else {
+                    None
+                }
+            },
+        )
+        .unwrap_or(SchedKind::Wheel)
     }
 }
 

@@ -288,3 +288,43 @@ proptest! {
         prop_assert_eq!(wheel.scheduled_peak(), heap.scheduled_peak());
     }
 }
+
+proptest! {
+    /// The generational slot pool is a faithful allocator under arbitrary
+    /// alloc/free interleavings: live handles always resolve, freed
+    /// handles never do (even after their slot is recycled), double
+    /// frees are rejected, and the live count matches a reference model.
+    #[test]
+    fn slot_pool_model_check(ops in proptest::collection::vec(any::<u32>(), 1..400)) {
+        use longlook_sim::{SlotHandle, SlotPool};
+        let mut pool = SlotPool::new();
+        let mut live: Vec<SlotHandle> = Vec::new();
+        let mut dead: Vec<SlotHandle> = Vec::new();
+        let mut peak = 0usize;
+        for op in ops {
+            // Low bit chooses alloc vs free; high bits pick the victim.
+            let is_alloc = op & 1 == 0;
+            if is_alloc || live.is_empty() {
+                live.push(pool.alloc());
+                peak = peak.max(live.len());
+            } else {
+                let h = live.swap_remove((op >> 1) as usize % live.len());
+                prop_assert!(pool.free(h), "live handle must free");
+                dead.push(h);
+            }
+            prop_assert_eq!(pool.live(), live.len());
+            for h in &live {
+                prop_assert_eq!(pool.resolve(*h), Some(h.index()));
+            }
+            for h in &dead {
+                prop_assert_eq!(pool.resolve(*h), None, "stale handle resolved");
+            }
+        }
+        prop_assert_eq!(pool.live_peak(), peak);
+        // Slot space never exceeds the high-water mark of live conns.
+        prop_assert!(pool.slots() <= peak);
+        for h in dead {
+            prop_assert!(!pool.free(h), "double free must be rejected");
+        }
+    }
+}

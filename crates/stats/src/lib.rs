@@ -8,6 +8,9 @@
 //! This crate provides exactly that layer:
 //!
 //! * [`Summary`] — streaming mean / variance / extrema of a sample set,
+//! * [`QuantileSketch`] — bounded-memory p50/p99/p999 with a guaranteed
+//!   relative-error bound, for fleet-scale cells that cannot retain
+//!   per-sample vectors,
 //! * [`welch_t_test`] — two-sample unequal-variance location test with a
 //!   numerically computed two-sided p-value (no lookup tables),
 //! * [`Comparison`] — percent-difference between two sample sets with the
@@ -18,11 +21,13 @@
 pub mod beta;
 pub mod compare;
 pub mod heatmap;
+pub mod sketch;
 pub mod summary;
 pub mod welch;
 
 pub use beta::{binomial_ci, incomplete_beta, incomplete_beta_inv};
 pub use compare::{percent_difference, Comparison, Verdict};
 pub use heatmap::{Heatmap, HeatmapCell};
+pub use sketch::QuantileSketch;
 pub use summary::Summary;
 pub use welch::{welch_t_test, WelchResult, DEFAULT_ALPHA};

@@ -3,8 +3,18 @@
 use longlook_stats::beta::{binomial_ci, incomplete_beta, student_t_two_sided_p};
 use longlook_stats::heatmap::HeatmapCell;
 use longlook_stats::summary::{median, percentile};
-use longlook_stats::{welch_t_test, Comparison, Summary, Verdict};
+use longlook_stats::{welch_t_test, Comparison, QuantileSketch, Summary, Verdict};
 use proptest::prelude::*;
+
+/// Exact nearest-rank quantile: smallest value with at least `⌈q·n⌉`
+/// samples `<=` it. This is the semantics `QuantileSketch::quantile`
+/// guarantees its `±α` relative-error bound against.
+fn exact_nearest_rank(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
 
 /// Deterministic Fisher–Yates driven by proptest-chosen indices: swap
 /// element `i` with `swaps[i].index(i + 1)` for `i = len-1 .. 1`.
@@ -51,6 +61,92 @@ proptest! {
             (a.sample_variance() - bulk.sample_variance()).abs()
                 < 1e-6 * (1.0 + bulk.sample_variance())
         );
+    }
+
+    /// The streaming mean is pinned to the exact batch formula
+    /// `Σx / n` and the streaming M2 to `Σ(x − mean)²` — the Welford
+    /// recurrence must be an implementation detail, not a different
+    /// statistic. (Complements `summary_matches_naive` by checking the
+    /// incremental path one `add` at a time against a fresh batch
+    /// recomputation at every prefix.)
+    #[test]
+    fn summary_prefixes_match_batch(xs in proptest::collection::vec(-1e5f64..1e5, 1..60)) {
+        let mut s = Summary::new();
+        for (i, &x) in xs.iter().enumerate() {
+            s.add(x);
+            let prefix = &xs[..=i];
+            let n = prefix.len() as f64;
+            let mean = prefix.iter().sum::<f64>() / n;
+            let m2 = prefix.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>();
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!(
+                (s.population_variance() - m2 / n).abs() < 1e-4 * (1.0 + m2 / n),
+                "prefix {} var {} vs batch {}", i + 1, s.population_variance(), m2 / n
+            );
+        }
+    }
+
+    /// The quantile sketch's estimate is within its configured relative
+    /// error of the exact nearest-rank quantile, for arbitrary positive
+    /// samples (up to 10k) and arbitrary quantiles.
+    #[test]
+    fn sketch_within_alpha_of_exact(
+        xs in proptest::collection::vec(1e-3f64..1e6, 1..2_000),
+        q in 0.0f64..1.0,
+    ) {
+        let mut sk = QuantileSketch::new();
+        for &x in &xs {
+            sk.add(x);
+        }
+        let exact = exact_nearest_rank(&xs, q);
+        let est = sk.quantile(q);
+        prop_assert!(
+            (est - exact).abs() / exact <= sk.alpha() + 1e-9,
+            "q={q}: est {est} vs exact {exact} on {} samples", xs.len()
+        );
+    }
+
+    /// Merging split sketches is exactly equivalent to the bulk sketch —
+    /// the property the deterministic parallel runner relies on for
+    /// jobs-invariant fleet quantiles.
+    #[test]
+    fn sketch_merge_matches_bulk(
+        xs in proptest::collection::vec(1e-3f64..1e6, 2..500),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let k = cut.index(xs.len() - 1) + 1;
+        let mut bulk = QuantileSketch::new();
+        for &x in &xs {
+            bulk.add(x);
+        }
+        let mut a = QuantileSketch::new();
+        for &x in &xs[..k] {
+            a.add(x);
+        }
+        let mut b = QuantileSketch::new();
+        for &x in &xs[k..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), bulk.count());
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(a.quantile(p).to_bits(), bulk.quantile(p).to_bits());
+        }
+    }
+
+    /// Sketch quantiles are monotone in the rank, like any CDF inverse.
+    #[test]
+    fn sketch_quantiles_monotone(
+        xs in proptest::collection::vec(1e-3f64..1e6, 1..300),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut sk = QuantileSketch::new();
+        for &x in &xs {
+            sk.add(x);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(sk.quantile(lo) <= sk.quantile(hi) + 1e-12);
     }
 
     /// p-values are probabilities, symmetric in argument order, and the

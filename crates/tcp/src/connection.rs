@@ -97,6 +97,23 @@ impl Default for TcpConfig {
     }
 }
 
+impl TcpConfig {
+    /// Round trips spent on connection establishment before request data
+    /// can flow: 1 for the SYN exchange, plus 2 for the TLS 1.2 handshake
+    /// when `tls` is set — the 3-RTT total the paper contrasts with
+    /// QUIC's 0/1-RTT setup.
+    ///
+    /// Used by the fleet world's flight-granular model, where handshakes
+    /// are charged as whole RTTs rather than simulated packet by packet.
+    pub fn handshake_rtts(&self) -> u32 {
+        if self.tls {
+            3
+        } else {
+            1
+        }
+    }
+}
+
 /// TCP-level connection state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TcpState {

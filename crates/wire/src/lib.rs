@@ -23,5 +23,5 @@ pub mod pool;
 pub mod quic;
 pub mod tcp;
 
-pub use mode::{BatchMode, WireMode};
+pub use mode::{env_knob, BatchMode, WireMode};
 pub use pool::PayloadPool;

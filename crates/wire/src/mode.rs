@@ -1,7 +1,43 @@
 //! Runtime path selection knobs: structured vs encoded payloads
-//! (`LONGLOOK_WIRE`) and batched vs per-event hot paths (`LONGLOOK_BATCH`).
+//! (`LONGLOOK_WIRE`) and batched vs per-event hot paths (`LONGLOOK_BATCH`),
+//! plus the shared warn-once environment-knob parser every `LONGLOOK_*`
+//! variable funnels through.
 
 use std::sync::Once;
+
+/// Read the environment knob `var` and parse it with `parse`.
+///
+/// Returns `None` when the variable is unset, `Some(value)` when `parse`
+/// accepts it, and `None` with a one-time stderr warning (keyed on
+/// `warned`, so each knob warns independently) when it does not. All the
+/// `LONGLOOK_*` knobs — `LONGLOOK_WIRE`, `LONGLOOK_BATCH`,
+/// `LONGLOOK_SCHED`, `LONGLOOK_JOBS`, `LONGLOOK_CHUNK`,
+/// `LONGLOOK_FLEET_N` — resolve through this helper, so a misconfigured
+/// CI run surfaces the same way for every knob instead of silently
+/// falling back.
+///
+/// The variable is re-read on every call (never cached) so differential
+/// tests and benches can flip knobs between constructions in one process.
+pub fn env_knob<T>(
+    var: &str,
+    expected: &str,
+    fallback: &str,
+    warned: &'static Once,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Option<T> {
+    let v = std::env::var(var).ok()?;
+    match parse(&v) {
+        Some(t) => Some(t),
+        None => {
+            warned.call_once(|| {
+                eprintln!(
+                    "warning: unrecognized {var}={v:?} (expected {expected}); using {fallback}"
+                );
+            });
+            None
+        }
+    }
+}
 
 /// Which payload representation the transports put on simulated links.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,21 +57,23 @@ impl WireMode {
     /// can flip the variable between connection constructions in one
     /// process — mirroring `LONGLOOK_SCHED`.
     pub fn from_env() -> WireMode {
-        match std::env::var("LONGLOOK_WIRE") {
-            Ok(v) if v.eq_ignore_ascii_case("encoded") => WireMode::Encoded,
-            Ok(v) if v.eq_ignore_ascii_case("structured") || v.is_empty() => WireMode::Structured,
-            Ok(v) => {
-                static WARN: Once = Once::new();
-                WARN.call_once(|| {
-                    eprintln!(
-                        "warning: unrecognized LONGLOOK_WIRE={v:?} (expected \
-                         \"structured\" or \"encoded\"); using structured"
-                    );
-                });
-                WireMode::Structured
-            }
-            Err(_) => WireMode::Structured,
-        }
+        static WARN: Once = Once::new();
+        env_knob(
+            "LONGLOOK_WIRE",
+            "\"structured\" or \"encoded\"",
+            "structured",
+            &WARN,
+            |v| {
+                if v.eq_ignore_ascii_case("encoded") {
+                    Some(WireMode::Encoded)
+                } else if v.eq_ignore_ascii_case("structured") || v.is_empty() {
+                    Some(WireMode::Structured)
+                } else {
+                    None
+                }
+            },
+        )
+        .unwrap_or(WireMode::Structured)
     }
 }
 
@@ -62,21 +100,17 @@ impl BatchMode {
     /// can flip the variable between runs in one process — mirroring
     /// `LONGLOOK_WIRE` and `LONGLOOK_SCHED`.
     pub fn from_env() -> BatchMode {
-        match std::env::var("LONGLOOK_BATCH") {
-            Ok(v) if v.eq_ignore_ascii_case("off") => BatchMode::Off,
-            Ok(v) if v.eq_ignore_ascii_case("on") || v.is_empty() => BatchMode::On,
-            Ok(v) => {
-                static WARN: Once = Once::new();
-                WARN.call_once(|| {
-                    eprintln!(
-                        "warning: unrecognized LONGLOOK_BATCH={v:?} (expected \
-                         \"on\" or \"off\"); using on"
-                    );
-                });
-                BatchMode::On
+        static WARN: Once = Once::new();
+        env_knob("LONGLOOK_BATCH", "\"on\" or \"off\"", "on", &WARN, |v| {
+            if v.eq_ignore_ascii_case("off") {
+                Some(BatchMode::Off)
+            } else if v.eq_ignore_ascii_case("on") || v.is_empty() {
+                Some(BatchMode::On)
+            } else {
+                None
             }
-            Err(_) => BatchMode::On,
-        }
+        })
+        .unwrap_or(BatchMode::On)
     }
 
     /// True when the batched path is selected.
@@ -110,6 +144,30 @@ mod tests {
         match saved {
             Some(v) => std::env::set_var("LONGLOOK_WIRE", v),
             None => std::env::remove_var("LONGLOOK_WIRE"),
+        }
+    }
+
+    /// The shared knob parser: unset → `None`, parsable → `Some`,
+    /// junk → `None` (after a one-time warning keyed on the caller's
+    /// `Once`). Single test because the env var is process-global.
+    #[test]
+    fn env_knob_resolves_unset_parsed_and_junk() {
+        static WARN: Once = Once::new();
+        const VAR: &str = "LONGLOOK_TEST_KNOB";
+        let saved = std::env::var(VAR).ok();
+        std::env::remove_var(VAR);
+        let parse = |v: &str| v.trim().parse::<usize>().ok();
+        assert_eq!(env_knob(VAR, "an integer", "default", &WARN, parse), None);
+        std::env::set_var(VAR, "17");
+        assert_eq!(
+            env_knob(VAR, "an integer", "default", &WARN, parse),
+            Some(17)
+        );
+        std::env::set_var(VAR, "junk-value");
+        assert_eq!(env_knob(VAR, "an integer", "default", &WARN, parse), None);
+        match saved {
+            Some(v) => std::env::set_var(VAR, v),
+            None => std::env::remove_var(VAR),
         }
     }
 
