@@ -4,7 +4,11 @@
 //! (0.5x / 1x / 2x of the base fleet), compared on p99 completion latency
 //! with the usual Welch gate. The base fleet size defaults to 2 000
 //! clients and is overridable with `LONGLOOK_FLEET_N`; rounds come from
-//! `LONGLOOK_ROUNDS` like every other experiment.
+//! `LONGLOOK_ROUNDS` like every other experiment. The representative
+//! appendix fleets run through the sharded loop (`LONGLOOK_FLEET_SHARDS`,
+//! default 1) — sharding never changes the reported observables (the
+//! `fleet_shard_differential` referee pins that), it only spreads one
+//! big cell across workers.
 
 use crate::rounds;
 use longlook_core::prelude::*;
@@ -25,14 +29,18 @@ pub fn fleet() -> String {
 
     // One representative flash-crowd fleet per protocol, for the numbers
     // the heatmap compresses away: completion rate, tails, arena cost.
+    // Sharded per the env knob so big interactive fleets can use the
+    // worker threads the heatmap cells above leave idle.
+    let shards = fleet_shards(1);
     for (label, proto) in [
         ("QUIC", ProtoConfig::Quic(QuicConfig::default())),
         ("TCP", ProtoConfig::Tcp(TcpConfig::default())),
     ] {
-        let m = run_fleet(&proto, &base);
+        let m = run_fleet_sharded(&proto, &base, shards, Parallelism::auto());
         let _ = write!(
             out,
-            "\n{label}: {n} clients flash-crowd — {} completed, {} timed out; \
+            "\n{label}: {n} clients flash-crowd ({shards} shard(s)) — \
+             {} completed, {} timed out; \
              latency p50/p99/p999 = {:.0}/{:.0}/{:.0} ms (mean {}); \
              {} events, peak {} scheduled, peak {} live conns, \
              arena {:.0} B/conn",

@@ -28,6 +28,11 @@ pub struct ConnInit {
     pub ssthresh: u32,
     /// Round-trip time for this client (microseconds).
     pub rtt_us: u32,
+    /// Global client id `k` — the key of every per-connection hash
+    /// stream. Stored so draws made after admission (per-flight loss)
+    /// can key on the *client*, not the arena slot: slot assignment
+    /// depends on execution grouping, client ids do not.
+    pub client: u32,
     /// Bottleneck link this client shares.
     pub link: u16,
     /// Server pool serving this client.
@@ -38,8 +43,8 @@ pub struct ConnInit {
 ///
 /// All columns are kept exactly `pool.slots()` long; a freed slot's
 /// column entries are simply overwritten by the next connection that
-/// recycles it. Budget: 34 bytes of column state plus 4 bytes of
-/// generation plus amortized free-list per slot — about 40 B/connection,
+/// recycles it. Budget: 42 bytes of column state plus 4 bytes of
+/// generation plus amortized free-list per slot — about 48 B/connection,
 /// an order of magnitude under the 650 B/connection acceptance budget.
 #[derive(Debug, Clone, Default)]
 pub struct ConnArena {
@@ -56,8 +61,11 @@ pub struct ConnArena {
     pub(crate) ssthresh: Vec<u32>,
     /// Per-client round-trip time (µs).
     pub(crate) rtt_us: Vec<u32>,
-    /// Flights sent so far (indexes the per-flight loss hash stream).
-    pub(crate) flights: Vec<u16>,
+    /// Global client id (keys the per-flight loss hash stream).
+    pub(crate) client: Vec<u32>,
+    /// Flights sent so far (indexes the per-flight loss hash stream;
+    /// 32 bits so the loss key never aliases across flights).
+    pub(crate) flights: Vec<u32>,
     /// Flights that experienced loss (congestion or random).
     pub(crate) retx: Vec<u16>,
     /// Shared bottleneck link id.
@@ -83,6 +91,7 @@ impl ConnArena {
             cwnd: Vec::with_capacity(n),
             ssthresh: Vec::with_capacity(n),
             rtt_us: Vec::with_capacity(n),
+            client: Vec::with_capacity(n),
             flights: Vec::with_capacity(n),
             retx: Vec::with_capacity(n),
             link: Vec::with_capacity(n),
@@ -102,6 +111,7 @@ impl ConnArena {
             self.cwnd.push(init.cwnd);
             self.ssthresh.push(init.ssthresh);
             self.rtt_us.push(init.rtt_us);
+            self.client.push(init.client);
             self.flights.push(0);
             self.retx.push(0);
             self.link.push(init.link);
@@ -113,6 +123,7 @@ impl ConnArena {
             self.cwnd[i] = init.cwnd;
             self.ssthresh[i] = init.ssthresh;
             self.rtt_us[i] = init.rtt_us;
+            self.client[i] = init.client;
             self.flights[i] = 0;
             self.retx[i] = 0;
             self.link[i] = init.link;
@@ -165,7 +176,8 @@ impl ConnArena {
             + self.cwnd.capacity() * size_of::<u32>()
             + self.ssthresh.capacity() * size_of::<u32>()
             + self.rtt_us.capacity() * size_of::<u32>()
-            + self.flights.capacity() * size_of::<u16>()
+            + self.client.capacity() * size_of::<u32>()
+            + self.flights.capacity() * size_of::<u32>()
             + self.retx.capacity() * size_of::<u16>()
             + self.link.capacity() * size_of::<u16>()
             + self.server.capacity() * size_of::<u16>()
@@ -184,6 +196,7 @@ mod tests {
             cwnd: 14_000,
             ssthresh: u32::MAX,
             rtt_us: 36_000,
+            client: 17,
             link: 3,
             server: 1,
         }
@@ -203,6 +216,7 @@ mod tests {
         let j = a.resolve(h2).unwrap();
         assert_eq!(a.remaining[j], 2000, "columns re-initialized");
         assert_eq!(a.flights[j], 0);
+        assert_eq!(a.client[j], 17);
         assert_eq!(a.slots(), 1);
     }
 

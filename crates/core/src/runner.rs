@@ -469,6 +469,13 @@ fn run_serial<T, F>(batch: u64, n: usize, started: Instant, f: F) -> (Vec<T>, Ru
 where
     F: Fn(usize) -> T,
 {
+    // A driver may fan a nested batch out from *inside* an outer cell
+    // (the sharded fleet loop degrades to a serial inner batch when a
+    // shard count or job count resolves to one). The inner batch runs on
+    // the calling thread, so save the outer cell's in-progress event
+    // count and restore it afterwards — otherwise the inner reset would
+    // silently zero the outer cell's tally.
+    let outer_events = CELL_EVENTS.with(Cell::get);
     let mut report = RunnerReport {
         jobs: 1,
         chunk: n.max(1),
@@ -496,6 +503,7 @@ where
             v
         })
         .collect();
+    CELL_EVENTS.with(|c| c.set(outer_events));
     report.elapsed = started.elapsed();
     (values, report)
 }
@@ -631,6 +639,24 @@ mod tests {
         assert_eq!(rep.cell_events, vec![9, 9, 9]);
         let text = rep.render();
         assert!(text.contains("events"), "{text}");
+    }
+
+    #[test]
+    fn nested_serial_batches_preserve_outer_cell_events() {
+        // An outer cell that fans out a nested serial batch (as the
+        // sharded fleet loop does at one shard/job) must keep its own
+        // event tally: the inner batch's per-cell resets are invisible
+        // to it.
+        let (_, rep) = run_ordered_reporting(Parallelism::Serial, 2, |_| {
+            note_cell_events(5);
+            let inner = run_ordered(Parallelism::Serial, 3, |i| {
+                note_cell_events(1);
+                i
+            });
+            assert_eq!(inner, vec![0, 1, 2]);
+            note_cell_events(7);
+        });
+        assert_eq!(rep.cell_events, vec![12, 12]);
     }
 
     #[test]

@@ -206,6 +206,15 @@ impl<T> HeapSched<T> {
             _ => None,
         }
     }
+
+    /// Return to the just-constructed state — empty, sequence counter and
+    /// peak rewound — keeping the heap's allocation for reuse.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.len = 0;
+        self.peak = 0;
+    }
 }
 
 impl<T> Default for HeapSched<T> {
@@ -333,6 +342,25 @@ impl<T> TimingWheel<T> {
         let e = self.active.pop().expect("checked above");
         self.len -= 1;
         Some((e.at, e.item))
+    }
+
+    /// Return to the just-constructed state — cursor at the origin,
+    /// sequence counter and peak rewound, every event discarded — while
+    /// keeping all allocations (slot ring capacities, free list, overflow
+    /// heap). A reset wheel is observationally identical to a fresh one:
+    /// same pop order, same tie-breaks (seq restarts at 0), same peak
+    /// accounting.
+    pub fn reset(&mut self) {
+        self.active.clear();
+        for v in &mut self.slots {
+            v.clear();
+        }
+        self.occ = [0; WORDS];
+        self.overflow.clear();
+        self.cursor = 0;
+        self.seq = 0;
+        self.len = 0;
+        self.peak = 0;
     }
 
     fn slot_insert(&mut self, t: u64, e: Entry<T>) {
@@ -536,6 +564,20 @@ impl<T> EventQueue<T> {
         match self {
             EventQueue::Wheel(w) => w.peak,
             EventQueue::Heap(h) => h.peak,
+        }
+    }
+
+    /// Return the queue to its just-constructed state — empty, cursor at
+    /// the origin, sequence counter and peak rewound — while keeping every
+    /// allocation. Sharded fleet loops run shards back to back through one
+    /// queue serially; because the sequence counter restarts, a reset
+    /// queue breaks same-time ties exactly like the fresh queue a threaded
+    /// shard gets, which is what keeps serial and threaded shard runs
+    /// bit-identical.
+    pub fn reset(&mut self) {
+        match self {
+            EventQueue::Wheel(w) => w.reset(),
+            EventQueue::Heap(h) => h.reset(),
         }
     }
 
@@ -744,6 +786,49 @@ mod tests {
             q.push(Time::ZERO, 1u8);
             assert_eq!(q.pop(), Some((Time::ZERO, 1)));
         }
+    }
+
+    #[test]
+    fn reset_queue_is_observationally_fresh() {
+        // Run a workload, reset, run it again: pop order (including
+        // same-time tie-breaks, which depend on the rewound seq counter),
+        // len, and scheduled_peak must all match a brand-new queue's.
+        for kind in [SchedKind::Wheel, SchedKind::Heap] {
+            let mut reused = EventQueue::new(kind);
+            let workload = |q: &mut EventQueue<u32>| {
+                q.push(Time::from_nanos(40 << SLOT_SHIFT), 0); // far slot
+                q.push(Time::from_nanos(5), 1);
+                q.push(Time::from_nanos(5), 2); // FIFO tie with 1
+                q.push(Time::from_nanos((1000u64) << SLOT_SHIFT), 3); // overflow
+                let order: Vec<(Time, u32)> = drain(q);
+                (order, q.scheduled_peak())
+            };
+            let first = workload(&mut reused);
+            reused.reset();
+            assert!(reused.is_empty(), "{kind:?}: reset left events behind");
+            assert_eq!(reused.scheduled_peak(), 0, "{kind:?}: peak survived");
+            let again = workload(&mut reused);
+            let fresh = workload(&mut EventQueue::new(kind));
+            assert_eq!(again, fresh, "{kind:?}: reset queue diverged");
+            assert_eq!(first, fresh, "{kind:?}: workload not repeatable");
+        }
+    }
+
+    #[test]
+    fn reset_mid_drain_discards_pending_events() {
+        // Reset with events still queued (active, slots, and overflow all
+        // populated): everything must vanish and the queue behave fresh.
+        let mut q = EventQueue::new(SchedKind::Wheel);
+        q.push(Time::from_nanos(3), 'a');
+        q.push(Time::from_nanos(3), 'b');
+        q.push(Time::from_nanos(9 << SLOT_SHIFT), 'c');
+        q.push(Time::from_nanos((2000u64) << SLOT_SHIFT), 'd');
+        assert_eq!(q.pop(), Some((Time::from_nanos(3), 'a'))); // loads active
+        q.reset();
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+        q.push(Time::from_nanos(1), 'z');
+        assert_eq!(q.pop(), Some((Time::from_nanos(1), 'z')));
     }
 
     #[test]

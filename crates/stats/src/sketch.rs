@@ -145,6 +145,31 @@ impl QuantileSketch {
         }
     }
 
+    /// Merge `parts` into one sketch. Unlike [`Summary::merge_all`]
+    /// (order-pinned because the batch formula is float-order-sensitive),
+    /// bucket counts are `u64`s and addition is exact, so the result is
+    /// bit-identical under **any** order or grouping of the same parts —
+    /// the stored representation is canonical (first/last bucket nonzero,
+    /// `lo_index` = minimum occupied bucket) and depends only on the
+    /// bucket multiset. The shard-merge proptests pin this claim.
+    ///
+    /// [`Summary::merge_all`]: crate::Summary::merge_all
+    /// The result inherits the first part's `alpha` (an empty iterator
+    /// yields a default sketch); all parts must share it, as in [`merge`].
+    ///
+    /// [`merge`]: QuantileSketch::merge
+    pub fn merge_all<'a, I: IntoIterator<Item = &'a QuantileSketch>>(parts: I) -> QuantileSketch {
+        let mut iter = parts.into_iter();
+        let Some(first) = iter.next() else {
+            return QuantileSketch::new();
+        };
+        let mut total = first.clone();
+        for p in iter {
+            total.merge(p);
+        }
+        total
+    }
+
     /// Estimate the `q`-quantile (`q` in `[0, 1]`) under nearest-rank
     /// semantics: the smallest value `v` such that at least `⌈q·n⌉`
     /// samples are `<= v`. Returns `NaN` if the sketch is empty.

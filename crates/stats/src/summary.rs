@@ -75,6 +75,25 @@ impl Summary {
         self.max = self.max.max(other.max);
     }
 
+    /// Fold `parts` into one summary **in iteration order** with the
+    /// batch merge formula.
+    ///
+    /// The batch formula is floating-point order-sensitive: merging the
+    /// same parts in a different order (or grouping) can change the low
+    /// bits of `mean`/`m2`. Callers that need bit-identical aggregates
+    /// across execution strategies (the sharded fleet's deterministic
+    /// merge, the parallel runner) must therefore fold their partials in
+    /// one *pinned* canonical order — this helper is that fold, and given
+    /// the same parts in the same order it is bit-exact no matter which
+    /// threads computed the parts.
+    pub fn merge_all<'a, I: IntoIterator<Item = &'a Summary>>(parts: I) -> Summary {
+        let mut total = Summary::new();
+        for p in parts {
+            total.merge(p);
+        }
+        total
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count

@@ -134,6 +134,81 @@ proptest! {
         }
     }
 
+    /// The sharded-fleet merge contract for `Summary`: partials computed
+    /// in *any* worker order, folded by `merge_all` in pinned shard
+    /// order, are bit-exact — the fold is a pure function of the ordered
+    /// parts list, so worker interleaving (simulated here by computing
+    /// the shards in a permuted order before slotting them back) cannot
+    /// perturb even the low bits of `mean`/`m2`.
+    #[test]
+    fn summary_merge_all_pinned_order_is_interleaving_invariant(
+        xs in proptest::collection::vec(-1e5f64..1e5, 1..200),
+        parts in 1usize..8,
+        swaps in proptest::collection::vec(any::<prop::sample::Index>(), 1..16),
+    ) {
+        let chunks: Vec<&[f64]> = xs.chunks(xs.len().div_ceil(parts)).collect();
+        // Workers finishing in index order.
+        let in_order: Vec<Summary> = chunks.iter().map(|c| Summary::of(c)).collect();
+        // Workers finishing in an arbitrary permuted order, each result
+        // placed back into its shard's slot.
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = swaps[i % swaps.len()].index(i + 1);
+            order.swap(i, j);
+        }
+        let mut slots: Vec<Option<Summary>> = vec![None; chunks.len()];
+        for &s in &order {
+            slots[s] = Some(Summary::of(chunks[s]));
+        }
+        let interleaved: Vec<Summary> = slots.into_iter().map(Option::unwrap).collect();
+        let a = Summary::merge_all(in_order.iter());
+        let b = Summary::merge_all(interleaved.iter());
+        // Derived PartialEq over raw f64 fields: exact equality, not
+        // tolerance — this is the bit-identity the referees pin.
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.count(), xs.len() as u64);
+    }
+
+    /// The sharded-fleet merge contract for `QuantileSketch` is stronger:
+    /// bucket counts are `u64`s and the stored representation is
+    /// canonical, so `merge_all` is bit-exact under *any* order or
+    /// grouping of the same parts — structurally equal to the bulk
+    /// sketch, not just quantile-equal.
+    #[test]
+    fn sketch_merge_all_any_order_or_grouping_is_bit_exact(
+        xs in proptest::collection::vec(1e-3f64..1e6, 1..500),
+        parts in 1usize..8,
+        swaps in proptest::collection::vec(any::<prop::sample::Index>(), 1..16),
+    ) {
+        let mut bulk = QuantileSketch::new();
+        for &x in &xs {
+            bulk.add(x);
+        }
+        let mut shard: Vec<QuantileSketch> = xs
+            .chunks(xs.len().div_ceil(parts))
+            .map(|c| {
+                let mut s = QuantileSketch::new();
+                for &x in c {
+                    s.add(x);
+                }
+                s
+            })
+            .collect();
+        for i in (1..shard.len()).rev() {
+            let j = swaps[i % swaps.len()].index(i + 1);
+            shard.swap(i, j);
+        }
+        let merged = QuantileSketch::merge_all(shard.iter());
+        prop_assert_eq!(&merged, &bulk);
+        // Regrouped: fold adjacent pairs first, then merge the partials.
+        let paired: Vec<QuantileSketch> = shard
+            .chunks(2)
+            .map(|p| QuantileSketch::merge_all(p.iter()))
+            .collect();
+        let tree = QuantileSketch::merge_all(paired.iter());
+        prop_assert_eq!(&tree, &bulk);
+    }
+
     /// Sketch quantiles are monotone in the rank, like any CDF inverse.
     #[test]
     fn sketch_quantiles_monotone(

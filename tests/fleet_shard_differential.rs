@@ -1,0 +1,172 @@
+//! Sharded-fleet differential referee: splitting one fleet cell across
+//! shards (and across worker threads) must not change what it measures.
+//!
+//! The contract under test, from `longlook_core::fleet::world`:
+//!
+//! * **Across shard counts** — `shards=1` serial, `shards=S` serial, and
+//!   `shards=S` threaded produce bit-identical [`FleetObservables`]
+//!   (events, completions, timeouts, tombstones, the latency Summary and
+//!   sketch, finish time) for every `S`. Connections interact only
+//!   through their bottleneck link, links partition contiguously across
+//!   shards, and no draw keys on execution-dependent state, so each
+//!   link's event subsequence is sharding-invariant and the pinned-order
+//!   merge reassembles exactly what one big loop would have produced.
+//! * **Across thread counts at fixed shards** — the *full*
+//!   [`FleetMetrics`], capacity diagnostics included, are bit-identical
+//!   between the serial queue-reuse path and the threaded fan-out: the
+//!   same shards run either way, only the schedule differs.
+//!
+//! Capacity peaks (`scheduled_peak`, `peak_live`, `arena_bytes_peak`)
+//! are deliberately *outside* the first contract: they are per-shard
+//! peaks summed in shard order, and four quarter-fleet peaks taken at
+//! different instants legitimately sum higher than one global peak.
+
+use longlook_core::prelude::*;
+
+fn quic() -> ProtoConfig {
+    ProtoConfig::Quic(QuicConfig::default())
+}
+
+fn tcp() -> ProtoConfig {
+    ProtoConfig::Tcp(TcpConfig::default())
+}
+
+/// Shard counts exercised against the serial baseline. The referee's
+/// fleet (FleetConfig::new(1500) → 4 links by default) covers divisible
+/// (2, 4) and oversized (9 → clamped to 4) splits.
+const SHARD_COUNTS: [usize; 3] = [2, 4, 9];
+
+/// The headline differential: observables are bit-identical across
+/// shard counts and thread counts, for both protocols and all three
+/// arrival profiles.
+#[test]
+fn sharded_observables_match_serial_bitwise() {
+    for profile in [
+        ArrivalProfile::Poisson,
+        ArrivalProfile::FlashCrowd,
+        ArrivalProfile::DiurnalRamp,
+    ] {
+        let cfg = FleetConfig::new(1_500).with_profile(profile);
+        for proto in [quic(), tcp()] {
+            let baseline = run_fleet(&proto, &cfg);
+            for shards in SHARD_COUNTS {
+                let serial = run_fleet_sharded(&proto, &cfg, shards, Parallelism::Serial);
+                assert_eq!(
+                    baseline.observables(),
+                    serial.observables(),
+                    "shards={shards} serial diverged from unsharded: {profile:?} / {proto:?}"
+                );
+                for jobs in [2, 4] {
+                    let threaded =
+                        run_fleet_sharded(&proto, &cfg, shards, Parallelism::Threads(jobs));
+                    // At a fixed shard count, serial vs threaded is the
+                    // *same* computation on a different schedule: the
+                    // full metrics — capacity diagnostics included —
+                    // must match field for field.
+                    assert_eq!(
+                        serial, threaded,
+                        "shards={shards} jobs={jobs} diverged from serial shards: \
+                         {profile:?} / {proto:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Non-divisible splits: a fleet whose link count is not a multiple of
+/// the shard count (here 5 links over 2 and 3 shards) still merges to
+/// the serial baseline bit-for-bit.
+#[test]
+fn non_divisible_link_count_still_merges_exactly() {
+    let mut cfg = FleetConfig::new(2_000);
+    cfg.n_links = 5;
+    cfg.n_servers = 2;
+    let baseline = run_fleet(&quic(), &cfg);
+    for shards in [2, 3, 5] {
+        let plan = ShardPlan::new(cfg.n_links, shards);
+        assert_eq!(plan.shards(), shards.min(cfg.n_links));
+        let m = run_fleet_sharded(&quic(), &cfg, shards, Parallelism::Threads(3));
+        assert_eq!(
+            baseline.observables(),
+            m.observables(),
+            "5 links over {shards} shards diverged"
+        );
+    }
+}
+
+/// Fewer connections than links: some shards own links that never see a
+/// client. Their loops are empty, the merge still balances.
+#[test]
+fn shards_with_idle_links_are_benign() {
+    let mut cfg = FleetConfig::new(3);
+    cfg.n_links = 8;
+    cfg.n_servers = 2;
+    let baseline = run_fleet(&quic(), &cfg);
+    let m = run_fleet_sharded(&quic(), &cfg, 8, Parallelism::Threads(4));
+    assert_eq!(baseline.observables(), m.observables());
+    assert_eq!(m.completed + m.timed_out, 3);
+}
+
+/// Population accounting holds in every mode: completed + timed_out
+/// covers every spawned client, the latency feeds agree on the sample
+/// count, and each completion leaves exactly one deadline tombstone.
+#[test]
+fn population_accounting_is_exact_in_every_mode() {
+    let cfg = FleetConfig::new(1_500);
+    for (shards, par) in [
+        (1, Parallelism::Serial),
+        (4, Parallelism::Serial),
+        (4, Parallelism::Threads(4)),
+    ] {
+        let m = run_fleet_sharded(&quic(), &cfg, shards, par);
+        assert_eq!(
+            m.completed + m.timed_out,
+            1_500,
+            "clients unaccounted for at shards={shards}"
+        );
+        assert_eq!(m.latency_sketch.count(), m.completed);
+        assert_eq!(m.latency_ms.count(), m.completed);
+        assert_eq!(
+            m.stale_deadline_pops, m.completed,
+            "tombstone pops must equal completions at shards={shards}"
+        );
+    }
+}
+
+/// The CI shard matrix drives this binary with `LONGLOOK_FLEET_SHARDS`
+/// ∈ {1, 4}: resolve the knob the way an experiment would and check the
+/// env-selected shard count against the serial baseline, so the matrix
+/// actually varies the code path under test.
+#[test]
+fn env_resolved_shard_count_matches_serial() {
+    let shards = fleet_shards(4);
+    let cfg = FleetConfig::new(fleet_n(1_500).min(20_000));
+    let baseline = run_fleet(&quic(), &cfg);
+    let m = run_fleet_sharded(&quic(), &cfg, shards, Parallelism::auto());
+    assert_eq!(
+        baseline.observables(),
+        m.observables(),
+        "env-resolved shards={shards} diverged from serial"
+    );
+}
+
+/// `ShardPlan` unit geometry at integration scope: ranges partition the
+/// link space contiguously in order, stay balanced within one link, and
+/// degenerate inputs clamp instead of panicking.
+#[test]
+fn shard_plan_geometry() {
+    for (n_links, shards) in [(4, 2), (5, 3), (7, 7), (1, 4), (12, 5)] {
+        let plan = ShardPlan::new(n_links, shards);
+        let mut next = 0;
+        for s in 0..plan.shards() {
+            let r = plan.link_range(s);
+            assert_eq!(r.start, next, "gap before shard {s} of {plan:?}");
+            assert!(!r.is_empty());
+            next = r.end;
+        }
+        assert_eq!(next, n_links, "{plan:?} did not cover the link space");
+    }
+    assert_eq!(ShardPlan::new(6, 0).shards(), 1);
+    assert_eq!(ShardPlan::new(0, 3).shards(), 1);
+}
