@@ -26,6 +26,9 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!("usage: repro [-j N] [--timing] <experiment-id>|list|all");
     eprintln!("       repro trauma <repro.json>   # replay a traumafuzz repro file");
+    eprintln!("       repro trace <file>          # analyze a trace (.jsonseq or a repro");
+    eprintln!("                                   # file with an embedded trace): timeline,");
+    eprintln!("                                   # per-state dwell, loss episodes");
     eprintln!("  -j N      shard cells across N threads (or set LONGLOOK_JOBS; 1 = serial)");
     eprintln!("  --timing  print a scheduler report per batch (jobs, chunk, speedup)");
     eprintln!("experiments:");
@@ -155,6 +158,37 @@ fn main() {
                 println!("  {v}");
             }
             println!("violation reproduced ({} oracle hit(s))", violations.len());
+        }
+        // Analyze a captured structured trace: either a raw JSON-SEQ
+        // `.jsonseq` file or a traumafuzz repro JSON carrying one in its
+        // "trace" field. Renders the timeline, the per-state dwell table,
+        // and extracted loss episodes with fault-window attribution.
+        Some("trace") if args.len() >= 2 => {
+            let path = &args[1];
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let records = match longlook_sim::trace::parse_seq(&text) {
+                Ok(r) => r,
+                Err(seq_err) => match longlook_bench::fuzz::parse_repro(&text) {
+                    Ok(case) => match case.trace.as_deref() {
+                        Some(t) => longlook_sim::trace::parse_seq(t).unwrap_or_else(|e| {
+                            eprintln!("embedded trace in {path} is malformed: {e}");
+                            std::process::exit(2);
+                        }),
+                        None => {
+                            eprintln!("{path} is a repro file without an embedded trace");
+                            std::process::exit(2);
+                        }
+                    },
+                    Err(_) => {
+                        eprintln!("cannot parse {path} as JSON-SEQ trace: {seq_err}");
+                        std::process::exit(2);
+                    }
+                },
+            };
+            print!("{}", longlook_core::traceview::render_report(&records));
         }
         Some("all") => {
             let started = Instant::now();

@@ -18,7 +18,9 @@
 //! success means the fuzzer caught the canary, shrank every repro to at
 //! most 3 events, and every written repro replayed its violation.
 
-use longlook_bench::fuzz::{fuzz_seed, parse_repro, render_repro, replay, shrink, ReproCase};
+use longlook_bench::fuzz::{
+    capture_trace, fuzz_seed, parse_repro, render_repro, replay, shrink, ReproCase,
+};
 use std::io::Write as _;
 
 fn usage() -> ! {
@@ -141,11 +143,15 @@ fn main() {
         if small.events.len() > 3 {
             shrink_ok = false;
         }
-        let case = ReproCase {
+        let mut case = ReproCase {
             seed,
             canary,
             plan: small,
+            trace: None,
         };
+        // Attach the shrunk case's event trace so the repro file explains
+        // itself (`repro trace` renders it without re-running anything).
+        case.trace = Some(capture_trace(&case));
         match save_repro(&case) {
             Some(path) => eprintln!("  repro written to {}", path.display()),
             None => eprintln!("  (could not write repro file)"),

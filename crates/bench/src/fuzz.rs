@@ -65,6 +65,12 @@ pub struct ReproCase {
     pub canary: bool,
     /// The (possibly shrunk) fault schedule.
     pub plan: FaultPlan,
+    /// Structured event trace of the shrunk case's QUIC cell (JSON-SEQ,
+    /// `longlook_sim::trace` encoding), captured by [`capture_trace`] so
+    /// the repro file explains itself: the analyzer (`repro trace`) can
+    /// name the fault window and the state the connection stalled in
+    /// without re-running anything.
+    pub trace: Option<String>,
 }
 
 /// Derive the fault plan for a seed: 1–3 events with kind, direction,
@@ -292,6 +298,16 @@ pub fn replay(case: &ReproCase) -> Vec<Violation> {
     run_plan(case.seed, &case.plan, case.canary)
 }
 
+/// Capture the structured event trace of a case's QUIC cell (the
+/// protocol under scrutiny) with the fault window edges merged in,
+/// JSON-SEQ encoded for embedding in the repro file.
+pub fn capture_trace(case: &ReproCase) -> String {
+    let sc = fuzz_scenario(case.seed, case.plan.clone());
+    let proto = fuzz_protos(case.canary).remove(0);
+    let (_, records) = longlook_core::trauma::run_trauma_cell_traced(&proto, &sc, 0);
+    longlook_sim::trace::encode_seq(&records)
+}
+
 fn render_event(e: &FaultEvent) -> String {
     let dir = match e.dir {
         FaultDir::Up => "up",
@@ -352,7 +368,14 @@ pub fn render_repro(case: &ReproCase) -> String {
         let comma = if i == last { "" } else { "," };
         out.push_str(&format!("    {}{comma}\n", render_event(e)));
     }
-    out.push_str("  ]\n}\n");
+    match &case.trace {
+        Some(t) => {
+            out.push_str("  ],\n");
+            out.push_str(&format!("  \"trace\": \"{}\"\n", json::escape(t)));
+        }
+        None => out.push_str("  ]\n"),
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -443,10 +466,19 @@ pub fn parse_repro(text: &str) -> Result<ReproCase, String> {
             .collect::<Result<Vec<FaultEvent>, String>>()?,
         _ => return Err("missing array field 'events'".to_string()),
     };
+    let trace = match doc.get("trace") {
+        None => None,
+        Some(j) => Some(
+            j.as_str()
+                .ok_or_else(|| "field 'trace' must be a string".to_string())?
+                .to_string(),
+        ),
+    };
     Ok(ReproCase {
         seed,
         canary,
         plan: FaultPlan { events },
+        trace,
     })
 }
 
@@ -472,6 +504,10 @@ mod tests {
                 seed,
                 canary: seed % 2 == 0,
                 plan: plan_from_seed(seed),
+                // Exercise both spellings: absent, and present with the
+                // separator/newline characters JSON-SEQ actually uses.
+                trace: (seed % 3 == 0)
+                    .then(|| "\u{1e}{\"t\":0,\"k\":\"tx\",\"pn\":1,\"sz\":2,\"el\":1}\n".into()),
             };
             let parsed = parse_repro(&render_repro(&case)).expect("parse");
             assert_eq!(parsed, case, "seed {seed}");
@@ -547,16 +583,48 @@ mod tests {
         );
         assert!(matches!(small.events[0].kind, FaultKind::Blackout));
 
-        let case = ReproCase {
+        let mut case = ReproCase {
             seed,
             canary: true,
             plan: small,
+            trace: None,
         };
+        case.trace = Some(capture_trace(&case));
         let reparsed = parse_repro(&render_repro(&case)).expect("round trip");
+        assert_eq!(reparsed, case, "trace must survive the JSON round trip");
         let replayed = replay(&reparsed);
         assert!(
             !replayed.is_empty(),
             "shrunk repro must reproduce the violation"
         );
+
+        // The attached trace must explain the failure on its own: the
+        // loss-episode extraction locates the injected blackout window,
+        // and the dwell table names the state the connection stalled in.
+        let records = longlook_sim::trace::parse_seq(reparsed.trace.as_deref().unwrap())
+            .expect("embedded trace parses");
+        let windows = longlook_core::traceview::fault_windows(&records);
+        assert!(
+            windows.iter().any(|w| w.label == "blackout/both"),
+            "trace must carry the blackout window edges: {windows:?}"
+        );
+        let episodes = longlook_core::traceview::loss_episodes(&records);
+        assert!(
+            episodes
+                .iter()
+                .any(|ep| ep.fault.as_deref() == Some("blackout/both")),
+            "a loss episode must be attributed to the blackout: {episodes:?}"
+        );
+        let dwell = longlook_core::traceview::dwell_table(&records);
+        let (stalled, _, share) = dwell
+            .iter()
+            .max_by(|a, b| a.2.total_cmp(&b.2))
+            .cloned()
+            .expect("dwell table non-empty");
+        assert_eq!(
+            stalled, "RetransmissionTimeout",
+            "the dominant dwell must name the stalled state: {dwell:?}"
+        );
+        assert!(share > 0.5, "the stall dominates the trace: {dwell:?}");
     }
 }

@@ -46,6 +46,7 @@ pub mod params;
 pub mod rootcause;
 pub mod runner;
 pub mod testbed;
+pub mod traceview;
 pub mod trauma;
 pub mod versions;
 
@@ -68,12 +69,18 @@ pub mod prelude {
         ConnArena, ConnInit, FleetConfig, FleetMetrics, FleetObservables, ShardPlan,
     };
     pub use crate::params::{render_table1, ParameterSpace};
-    pub use crate::rootcause::{compare_machines, infer_from_records};
+    pub use crate::rootcause::{compare_machines, infer_from_records, infer_from_traces};
     pub use crate::runner::{
         run_ordered, run_ordered_chunked, run_ordered_reporting, Parallelism, RunnerReport,
     };
     pub use crate::testbed::{FlowSpec, NetProfile, ProxyTestbed, Testbed};
-    pub use crate::trauma::{run_trauma_cell, run_trauma_records_par, TraumaRecord};
+    pub use crate::traceview::{
+        dwell_table, fault_windows, loss_episodes, render_report, render_timeline, FaultWindow,
+        LossEpisode,
+    };
+    pub use crate::trauma::{
+        run_trauma_cell, run_trauma_cell_traced, run_trauma_records_par, TraumaRecord,
+    };
     pub use crate::versions::QuicVersion;
     pub use longlook_http::app::{BulkClient, ClientApp, WebClient};
     pub use longlook_http::host::{ClientHost, ProtoConfig, ServerHost, WaitModel};

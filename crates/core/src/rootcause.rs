@@ -3,7 +3,10 @@
 
 use crate::experiment::RunRecord;
 use longlook_sim::time::Time;
-use longlook_statemachine::{infer, trace_from_transport, InferredMachine, Trace};
+use longlook_sim::trace::TraceRecord;
+use longlook_statemachine::{
+    infer, trace_from_records, trace_from_transport, InferredMachine, Trace,
+};
 use longlook_transport::ccstate::StateTrace;
 use std::fmt::Write as _;
 
@@ -15,6 +18,22 @@ pub fn infer_from_records(records: &[RunRecord]) -> InferredMachine {
             r.server_trace
                 .as_ref()
                 .map(|t| transport_trace(t, r.ended_at))
+        })
+        .collect();
+    infer(&traces)
+}
+
+/// Infer a machine from captured structured event traces
+/// (`LONGLOOK_TRACE` / `repro trace` evidence): each trace's `CcState`
+/// events are the state-visit sequence, observed until its last record.
+/// Empty traces contribute nothing.
+pub fn infer_from_traces(traces: &[Vec<TraceRecord>]) -> InferredMachine {
+    let traces: Vec<Trace> = traces
+        .iter()
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            let end = Time::from_nanos(t.last().map(|r| r.t).unwrap_or(0));
+            trace_from_records(t, end)
         })
         .collect();
     infer(&traces)

@@ -172,6 +172,12 @@ impl ClientHost {
         self.slots[index].conn.error()
     }
 
+    /// Structured trace records of the `index`-th connection
+    /// (`LONGLOOK_TRACE`); empty when tracing is off.
+    pub fn conn_trace(&self, index: usize) -> &[longlook_sim::trace::TraceRecord] {
+        self.slots[index].conn.trace_records()
+    }
+
     /// Number of apps.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -355,6 +361,12 @@ impl ServerHost {
     /// Terminal error of the connection for `flow`, if it gave up.
     pub fn conn_error(&self, flow: FlowId) -> Option<ConnError> {
         self.conns.get(&flow).and_then(|s| s.conn.error())
+    }
+
+    /// Structured trace records of the connection for `flow`
+    /// (`LONGLOOK_TRACE`); empty when tracing is off.
+    pub fn conn_trace(&self, flow: FlowId) -> Option<&[longlook_sim::trace::TraceRecord]> {
+        self.conns.get(&flow).map(|s| s.conn.trace_records())
     }
 
     fn respond(&mut self, flow: FlowId, stream: StreamId, object: usize, now: Time) {

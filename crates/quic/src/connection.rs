@@ -13,7 +13,8 @@ use crate::streams::{Chunk, RecvStream, SendStream};
 use crate::wire::{Frame, HandshakeKind, QuicPacket, MAX_ACK_BLOCKS, MAX_PACKET_PAYLOAD};
 use longlook_sim::packet::Payload;
 use longlook_sim::time::{Dur, Time};
-use longlook_sim::{BatchMode, PayloadPool, WireMode};
+use longlook_sim::trace::RecoveryKind;
+use longlook_sim::{BatchMode, PayloadPool, Tracer, WireMode};
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
 use longlook_transport::conn::{
@@ -139,6 +140,9 @@ pub struct QuicConnection {
     stats: ConnStats,
     cwnd_log: Vec<(Time, u64)>,
     tracker: StateTracker,
+    /// Structured event trace (`LONGLOOK_TRACE`, at construction); a
+    /// disabled tracer is an inlined no-op on every emit.
+    tracer: Tracer,
     /// Recycled payload buffers (encoded path only): encoders take from
     /// here, spent received payloads are reclaimed in `on_datagram`.
     pool: PayloadPool,
@@ -216,6 +220,8 @@ impl QuicConnection {
         } else {
             cc.state_label(now)
         };
+        let mut tracer = Tracer::from_env();
+        tracer.cc_state(now.as_nanos(), initial_label);
         QuicConnection {
             cfg,
             role,
@@ -268,6 +274,7 @@ impl QuicConnection {
             stats: ConnStats::default(),
             cwnd_log: vec![(now, 0)],
             tracker: StateTracker::new(now, initial_label),
+            tracer,
             pool: PayloadPool::new(),
             spare_frames: Vec::new(),
             wire_mode: WireMode::from_env(),
@@ -343,6 +350,7 @@ impl QuicConnection {
                     .iter()
                     .any(|p| matches!(p.handshake, Some(HandshakeKind::FullChlo)));
                 for pkt in &lost {
+                    self.tracer.loss(now.as_nanos(), pkt.pn);
                     self.requeue_lost(pkt);
                 }
                 if !had_chlo {
@@ -474,8 +482,10 @@ impl QuicConnection {
                 self.app_limited,
             );
         }
+        self.tracer.ack(now.as_nanos(), out.newly_acked_bytes);
         for lost in &out.lost {
             self.stats.losses_detected += 1;
+            self.tracer.loss(now.as_nanos(), lost.pn);
             self.requeue_lost(lost);
             self.cc.on_congestion_event(
                 now,
@@ -528,6 +538,16 @@ impl QuicConnection {
     }
 
     fn rearm_loss_timer(&mut self, now: Time) {
+        if self.tracer.enabled() {
+            // Pure recomputation for the trace only: in batch mode the
+            // deadline resolves lazily, but `compute_loss_timer` is a pure
+            // function of state that cannot change between the request and
+            // the observation point, so this records the same deadline the
+            // eager path sets — identically under either `LONGLOOK_BATCH`.
+            if let Some((_, at)) = self.compute_loss_timer(now) {
+                self.tracer.timer_arm(now.as_nanos(), at.as_nanos());
+            }
+        }
         if self.batch {
             // Defer: the timer is unobservable until `next_wakeup` or the
             // next `on_wakeup`, and nothing that feeds `compute_loss_timer`
@@ -551,6 +571,7 @@ impl QuicConnection {
         self.stats.max_cwnd = self.stats.max_cwnd.max(cwnd);
         if self.cwnd_log.last().map(|&(_, c)| c) != Some(cwnd) {
             self.cwnd_log.push((now, cwnd));
+            self.tracer.cwnd(now.as_nanos(), cwnd);
         }
     }
 
@@ -574,6 +595,7 @@ impl QuicConnection {
             }
         };
         self.tracker.set(now, label);
+        self.tracer.cc_state(now.as_nanos(), label);
     }
 
     /// Does any stream have bytes or FINs ready (ignoring cc/pacing)?
@@ -585,8 +607,9 @@ impl QuicConnection {
     /// the connection reads as quiescent, and surface the typed error —
     /// unless the test-only canary mutes it (the silent-livelock bug the
     /// fuzzer oracle exists to catch).
-    fn give_up(&mut self, err: ConnError) {
+    fn give_up(&mut self, err: ConnError, now: Time) {
         self.gave_up = true;
+        self.tracer.recovery(now.as_nanos(), RecoveryKind::GiveUp);
         if !self.cfg.canary_mute_watchdog {
             self.error = Some(err);
         }
@@ -608,10 +631,10 @@ impl QuicConnection {
         }
         if self.hs != Handshake::Established {
             if now >= self.started_at + self.cfg.handshake_timeout {
-                self.give_up(ConnError::HandshakeTimeout);
+                self.give_up(ConnError::HandshakeTimeout, now);
             }
         } else if !self.is_quiescent() && now >= self.last_progress + self.cfg.idle_timeout {
-            self.give_up(ConnError::IdleTimeout);
+            self.give_up(ConnError::IdleTimeout, now);
         }
     }
 
@@ -654,6 +677,8 @@ impl QuicConnection {
         let wire_size = pkt.wire_size() + UDP_OVERHEAD;
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += wire_size as u64;
+        self.tracer
+            .pkt_tx(now.as_nanos(), pn, wire_size as u64, retransmittable);
         if !retransmittable {
             self.stats.acks_sent += 1;
         }
@@ -717,6 +742,12 @@ impl Connection for QuicConnection {
             return;
         }
         self.last_progress = now;
+        if self.tracer.enabled() {
+            // Analytic sizing is proptest-pinned to the encoded length,
+            // so recomputing it here is wire-mode invariant.
+            let sz = (pkt.wire_size() + UDP_OVERHEAD) as u64;
+            self.tracer.pkt_rx(now.as_nanos(), pkt.pn, sz);
+        }
         // 0-RTT rejection: a server whose cached config expired must not
         // process — or ack — early data arriving before the handshake. The
         // whole flight is dropped and a single REJ queued; the client
@@ -1026,6 +1057,8 @@ impl Connection for QuicConnection {
             if now >= at && self.sent.has_retransmittable() {
                 match kind {
                     LossTimer::Tlp => {
+                        self.tracer.timer_fire(now.as_nanos(), RecoveryKind::Tlp);
+                        self.tracer.recovery(now.as_nanos(), RecoveryKind::Tlp);
                         self.tlp_count += 1;
                         self.stats.tlp_count += 1;
                         self.in_tlp_state = true;
@@ -1033,6 +1066,8 @@ impl Connection for QuicConnection {
                         self.rearm_loss_timer(now);
                     }
                     LossTimer::Rto => {
+                        self.tracer.timer_fire(now.as_nanos(), RecoveryKind::Rto);
+                        self.tracer.recovery(now.as_nanos(), RecoveryKind::Rto);
                         self.stats.rto_count += 1;
                         self.in_rto_state = true;
                         // A repeated timeout with no ack in between means
@@ -1044,6 +1079,7 @@ impl Connection for QuicConnection {
                         let cap = if self.rto_backoff > 0 { usize::MAX } else { 2 };
                         let lost = self.sent.declare_oldest_lost(cap);
                         for pkt in &lost {
+                            self.tracer.loss(now.as_nanos(), pkt.pn);
                             self.requeue_lost(pkt);
                         }
                         self.cc.on_rto(now);
@@ -1119,6 +1155,10 @@ impl Connection for QuicConnection {
 
     fn srtt(&self) -> Dur {
         self.rtt.srtt()
+    }
+
+    fn trace_records(&self) -> &[longlook_sim::trace::TraceRecord] {
+        self.tracer.records()
     }
 
     fn error(&self) -> Option<ConnError> {

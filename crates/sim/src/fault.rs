@@ -26,6 +26,7 @@
 
 use crate::rng::SimRng;
 use crate::time::{Dur, Time};
+use longlook_wire::trace::{TraceEvent, TraceRecord};
 
 /// Which link direction a fault applies to. `Up` is the first direction
 /// passed to `World::connect` — client→server in testbed terms.
@@ -46,6 +47,15 @@ impl FaultDir {
             FaultDir::Up => up,
             FaultDir::Down => !up,
             FaultDir::Both => true,
+        }
+    }
+
+    /// Stable label, matching the `traumafuzz` repro spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultDir::Up => "up",
+            FaultDir::Down => "down",
+            FaultDir::Both => "both",
         }
     }
 }
@@ -181,6 +191,23 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable kind label, matching the `traumafuzz` repro spelling.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Blackout => "blackout",
+            FaultKind::Flap { .. } => "flap",
+            FaultKind::BandwidthCliff { .. } => "bw_cliff",
+            FaultKind::BandwidthRamp { .. } => "bw_ramp",
+            FaultKind::BurstLoss(_) => "burst_loss",
+            FaultKind::Duplicate { .. } => "duplicate",
+            FaultKind::Corrupt { .. } => "corrupt",
+            FaultKind::PeerStall { .. } => "stall",
+            FaultKind::BufferShrink { .. } => "buffer_shrink",
+        }
+    }
+}
+
 /// One scheduled fault: `kind` applied to `dir` over `[at, at + dur)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
@@ -263,6 +290,32 @@ impl FaultPlan {
             .filter(|e| matches!(e.kind, FaultKind::PeerStall { side: s } if s == side))
             .map(|e| (e.at, e.end()))
             .collect()
+    }
+
+    /// Window-edge trace records for the plan: a `FaultOn` at each
+    /// event's start and a `FaultOff` at its end, sorted by time. A pure
+    /// function of the plan — nothing here observes the run — so merging
+    /// these into a connection trace can never perturb it.
+    pub fn trace_window_edges(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(2 * self.events.len());
+        for e in &self.events {
+            out.push(TraceRecord {
+                t: e.at.as_nanos(),
+                ev: TraceEvent::FaultOn {
+                    kind: e.kind.label().to_string(),
+                    dir: e.dir.label().to_string(),
+                },
+            });
+            out.push(TraceRecord {
+                t: e.end().as_nanos(),
+                ev: TraceEvent::FaultOff {
+                    kind: e.kind.label().to_string(),
+                    dir: e.dir.label().to_string(),
+                },
+            });
+        }
+        out.sort_by_key(|r| r.t);
+        out
     }
 }
 
@@ -534,6 +587,36 @@ mod tests {
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn window_edges_are_sorted_on_off_pairs() {
+        let plan = FaultPlan::new()
+            .with_event(ev(200, 100, FaultDir::Up, FaultKind::Blackout))
+            .with_event(ev(
+                0,
+                50,
+                FaultDir::Both,
+                FaultKind::Duplicate { prob_pm: 100 },
+            ));
+        let edges = plan.trace_window_edges();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.windows(2).all(|w| w[0].t <= w[1].t), "sorted");
+        assert_eq!(
+            edges[0].ev,
+            TraceEvent::FaultOn {
+                kind: "duplicate".into(),
+                dir: "both".into()
+            }
+        );
+        assert_eq!(
+            edges[3].ev,
+            TraceEvent::FaultOff {
+                kind: "blackout".into(),
+                dir: "up".into()
+            }
+        );
+        assert!(FaultPlan::new().trace_window_edges().is_empty());
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub use link::{DropKind, Jitter, LinkConfig, LinkDir, LinkStats, ReorderSpec, Ve
 // The payload pool moved down into `longlook-wire` (the wire formats need
 // it); re-exported here so `longlook_sim::pool::PayloadPool` keeps working.
 pub use longlook_wire::pool;
-pub use longlook_wire::{BatchMode, PayloadPool, WireMode};
+// The structured trace layer lives in `longlook-wire` (the bottom crate,
+// so transports and the fault layer can both emit); re-exported here as
+// `longlook_sim::trace` for everything above the simulator.
+pub use longlook_wire::trace;
+pub use longlook_wire::{BatchMode, PayloadPool, TraceMode, TraceRecord, Tracer, WireMode};
 pub use packet::{FlowId, NodeId, Packet, Payload, PktClass};
 pub use rng::{current_cell, CellGuard, CellId, IsolationTag, SimRng};
 pub use sched::{EventQueue, SchedKind};

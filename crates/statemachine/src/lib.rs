@@ -31,3 +31,24 @@ pub fn trace_from_transport(
         end,
     )
 }
+
+/// Convenience: build a [`Trace`] from structured trace records
+/// (`longlook_sim::trace`, the `LONGLOOK_TRACE` layer). The `CcState`
+/// events carry the same state-visit evidence as a transport
+/// `StateTrace`, so a captured qlog-style trace file can feed inference
+/// directly.
+pub fn trace_from_records(
+    records: &[longlook_sim::trace::TraceRecord],
+    end: longlook_sim::time::Time,
+) -> Trace {
+    use longlook_sim::time::Time;
+    use longlook_sim::trace::TraceEvent;
+    let visits = records
+        .iter()
+        .filter_map(|r| match &r.ev {
+            TraceEvent::CcState { state } => Some((Time::from_nanos(r.t), state.clone())),
+            _ => None,
+        })
+        .collect();
+    Trace::new(visits, end)
+}

@@ -18,7 +18,8 @@ use crate::scoreboard::Scoreboard;
 use crate::wire::{flags, TcpSegment};
 use longlook_sim::packet::Payload;
 use longlook_sim::time::{Dur, Time};
-use longlook_sim::{BatchMode, PayloadPool, WireMode};
+use longlook_sim::trace::RecoveryKind;
+use longlook_sim::{BatchMode, PayloadPool, Tracer, WireMode};
 use longlook_transport::cc::CongestionControl;
 use longlook_transport::ccstate::{CcState, StateTrace, StateTracker};
 use longlook_transport::conn::{
@@ -188,6 +189,9 @@ pub struct TcpConnection {
     stats: ConnStats,
     cwnd_log: Vec<(Time, u64)>,
     tracker: StateTracker,
+    /// Structured event trace (`LONGLOOK_TRACE`); records nothing when
+    /// tracing is off.
+    tracer: Tracer,
     /// Recycled payload buffers (encoded path only): encoders take from
     /// here, spent received payloads are reclaimed in `on_datagram`.
     pool: PayloadPool,
@@ -222,6 +226,8 @@ impl TcpConnection {
             (0, 0)
         };
         let cc: Box<dyn CongestionControl> = Box::new(Cubic::new(cfg.cubic.clone(), now));
+        let mut tracer = Tracer::from_env();
+        tracer.cc_state(now.as_nanos(), CcState::Init.label());
         TcpConnection {
             rtt: RttEstimator::new(cfg.initial_rtt),
             receiver: TcpReceiver::new(cfg.recv_buffer),
@@ -255,6 +261,7 @@ impl TcpConnection {
             stats: ConnStats::default(),
             cwnd_log: vec![(now, 0)],
             tracker: StateTracker::new(now, CcState::Init.label()),
+            tracer,
             pool: PayloadPool::new(),
             wire_mode: WireMode::from_env(),
         }
@@ -318,6 +325,7 @@ impl TcpConnection {
         self.stats.max_cwnd = self.stats.max_cwnd.max(cwnd);
         if self.cwnd_log.last().map(|&(_, c)| c) != Some(cwnd) {
             self.cwnd_log.push((now, cwnd));
+            self.tracer.cwnd(now.as_nanos(), cwnd);
         }
     }
 
@@ -337,6 +345,7 @@ impl TcpConnection {
             }
         };
         self.tracker.set(now, label);
+        self.tracer.cc_state(now.as_nanos(), label);
     }
 
     /// Pure RTO deadline computation for a re-arm requested at `now`.
@@ -350,6 +359,15 @@ impl TcpConnection {
     }
 
     fn rearm_rto(&mut self, now: Time) {
+        // Trace the arm at the request point: the deadline is a pure
+        // function of state that cannot change before a deferred re-arm
+        // resolves, so this is identical under both `LONGLOOK_BATCH`
+        // modes (costs a computation only when tracing is on).
+        if self.tracer.enabled() {
+            if let Some(at) = self.compute_rto(now) {
+                self.tracer.timer_arm(now.as_nanos(), at.as_nanos());
+            }
+        }
         if self.batch {
             // Batched hot path: every segment sent in a dispatch requests
             // a re-arm with the same `now`; defer and resolve once.
@@ -387,6 +405,8 @@ impl TcpConnection {
         let wire_size = seg.wire_size_payload() + TCP_OVERHEAD + 17 * seg.records.len() as u32;
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += wire_size as u64;
+        self.tracer
+            .pkt_tx(now.as_nanos(), seq, wire_size as u64, true);
         let payload = match self.wire_mode {
             WireMode::Structured => Payload::Tcp(seg),
             WireMode::Encoded => Payload::Wire(seg.encode_with(&mut self.pool)),
@@ -412,7 +432,8 @@ impl TcpConnection {
         if seg.is_bare_ack() {
             self.stats.acks_sent += 1;
         }
-        let _ = now;
+        self.tracer
+            .pkt_tx(now.as_nanos(), 0, wire_size as u64, false);
         let payload = match self.wire_mode {
             WireMode::Structured => Payload::Tcp(seg),
             WireMode::Encoded => Payload::Wire(seg.encode_with(&mut self.pool)),
@@ -449,7 +470,8 @@ impl TcpConnection {
 
     /// Watchdog trip: stop trying, clear every pending timer and control
     /// flag so the connection reads as quiescent, and surface the error.
-    fn give_up(&mut self, err: ConnError) {
+    fn give_up(&mut self, err: ConnError, now: Time) {
+        self.tracer.recovery(now.as_nanos(), RecoveryKind::GiveUp);
         self.gave_up = true;
         self.error = Some(err);
         self.syn_pending = false;
@@ -468,10 +490,10 @@ impl TcpConnection {
         }
         if !self.tls_established {
             if now >= self.started_at + self.cfg.handshake_timeout {
-                self.give_up(ConnError::HandshakeTimeout);
+                self.give_up(ConnError::HandshakeTimeout, now);
             }
         } else if !self.is_quiescent() && now >= self.last_progress + self.cfg.idle_timeout {
-            self.give_up(ConnError::IdleTimeout);
+            self.give_up(ConnError::IdleTimeout, now);
         }
     }
 }
@@ -501,6 +523,13 @@ impl Connection for TcpConnection {
             return;
         }
         self.last_progress = now;
+        if self.tracer.enabled() {
+            // Recompute the analytic wire size so the record is identical
+            // under both `LONGLOOK_WIRE` modes (proptest-pinned equal to
+            // the encoded length).
+            let sz = seg.wire_size_payload() + TCP_OVERHEAD + 17 * seg.records.len() as u32;
+            self.tracer.pkt_rx(now.as_nanos(), seg.seq, sz as u64);
+        }
 
         // Handshake control.
         if seg.flags & flags::SYN != 0 {
@@ -552,6 +581,7 @@ impl Connection for TcpConnection {
             if out.spurious {
                 self.stats.spurious_retransmissions += 1;
             }
+            self.tracer.ack(now.as_nanos(), out.newly_acked);
             if out.newly_acked > 0 {
                 self.rto_backoff = 0;
                 self.in_rto_state = false;
@@ -572,6 +602,12 @@ impl Connection for TcpConnection {
             }
             if out.fast_retransmit {
                 self.stats.losses_detected += out.lost_ranges.len() as u64;
+                self.tracer.recovery(now.as_nanos(), RecoveryKind::FastRetx);
+                if self.tracer.enabled() {
+                    for &(seq, _) in &out.lost_ranges {
+                        self.tracer.loss(now.as_nanos(), seq);
+                    }
+                }
                 self.cc.on_congestion_event(
                     now,
                     out.lost_sent_at.unwrap_or(now),
@@ -688,7 +724,7 @@ impl Connection for TcpConnection {
                 if self.cfg.watchdog && self.syn_retries >= self.cfg.max_syn_retries {
                     // SYN retry budget exhausted: give up rather than
                     // back off forever into a blackout.
-                    self.give_up(ConnError::HandshakeTimeout);
+                    self.give_up(ConnError::HandshakeTimeout, now);
                     return;
                 }
                 self.syn_pending = true;
@@ -699,6 +735,8 @@ impl Connection for TcpConnection {
         if let Some(d) = self.rto_deadline {
             if now >= d && self.scoreboard.has_outstanding() {
                 self.stats.rto_count += 1;
+                self.tracer.timer_fire(now.as_nanos(), RecoveryKind::Rto);
+                self.tracer.recovery(now.as_nanos(), RecoveryKind::Rto);
                 self.in_rto_state = true;
                 self.scoreboard.mark_all_lost();
                 self.cc.on_rto(now);
@@ -755,6 +793,10 @@ impl Connection for TcpConnection {
 
     fn srtt(&self) -> Dur {
         self.rtt.srtt()
+    }
+
+    fn trace_records(&self) -> &[longlook_sim::trace::TraceRecord] {
+        self.tracer.records()
     }
 
     fn error(&self) -> Option<ConnError> {

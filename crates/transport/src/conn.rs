@@ -155,6 +155,13 @@ pub trait Connection {
     fn error(&self) -> Option<ConnError> {
         None
     }
+
+    /// Structured trace records emitted so far (`LONGLOOK_TRACE`). Empty
+    /// when tracing is off; the default keeps test doubles compiling
+    /// unchanged, like [`Connection::error`].
+    fn trace_records(&self) -> &[longlook_sim::trace::TraceRecord] {
+        &[]
+    }
 }
 
 #[cfg(test)]

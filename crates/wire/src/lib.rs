@@ -22,6 +22,8 @@ pub mod mode;
 pub mod pool;
 pub mod quic;
 pub mod tcp;
+pub mod trace;
 
 pub use mode::{env_knob, BatchMode, WireMode};
 pub use pool::PayloadPool;
+pub use trace::{TraceEvent, TraceMode, TraceRecord, Tracer};

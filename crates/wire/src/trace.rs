@@ -1,0 +1,954 @@
+//! qlog-inspired per-connection structured event traces.
+//!
+//! A [`Tracer`] lives inside each transport connection and appends
+//! [`TraceRecord`]s — packet tx/rx, ack processing, loss declarations,
+//! congestion-control state and cwnd changes, recovery decisions, timer
+//! arms/fires — while the fault layer contributes window-edge records
+//! synthesized from the plan. Tracing is selected by `LONGLOOK_TRACE`
+//! (`off`, the default / `on` / `rotating`) through the shared warn-once
+//! [`env_knob`] parser; when off every emit method is an inlined
+//! early-return on one bool, draws zero RNG, and perturbs nothing — a
+//! promise the `trace_differential` referee suite holds bit-exactly.
+//!
+//! On disk a trace is qlog-style JSON-SEQ (RFC 7464): each record is an
+//! RS byte (`0x1E`), one minimized-key JSON object, and a newline. The
+//! std-only [`RotatingWriter`] splits the stream into size-capped
+//! segments without ever splitting a record, and
+//! [`parse_seq`] round-trips the concatenated segments back to the typed
+//! event sequence.
+
+use crate::mode::env_knob;
+use std::sync::Once;
+
+/// RFC 7464 record separator that prefixes every JSON-SEQ record.
+pub const RECORD_SEP: char = '\u{1e}';
+
+/// Default per-segment byte cap used by `LONGLOOK_TRACE=rotating`.
+pub const DEFAULT_SEGMENT_CAP: usize = 64 * 1024;
+
+/// Tracing selection (`LONGLOOK_TRACE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No tracing (default): emit methods are inlined no-ops.
+    Off,
+    /// Record everything into one unbounded segment.
+    On,
+    /// Record everything into size-capped rotating segments.
+    Rotating,
+}
+
+impl TraceMode {
+    /// Resolve from the `LONGLOOK_TRACE` environment variable.
+    ///
+    /// Read on every call (not cached) so differential tests can flip
+    /// the variable between connection constructions in one process —
+    /// mirroring `LONGLOOK_WIRE` and `LONGLOOK_BATCH`.
+    pub fn from_env() -> TraceMode {
+        static WARN: Once = Once::new();
+        env_knob(
+            "LONGLOOK_TRACE",
+            "\"off\", \"on\" or \"rotating\"",
+            "off",
+            &WARN,
+            |v| {
+                if v.eq_ignore_ascii_case("on") {
+                    Some(TraceMode::On)
+                } else if v.eq_ignore_ascii_case("rotating") {
+                    Some(TraceMode::Rotating)
+                } else if v.eq_ignore_ascii_case("off") || v.is_empty() {
+                    Some(TraceMode::Off)
+                } else {
+                    None
+                }
+            },
+        )
+        .unwrap_or(TraceMode::Off)
+    }
+
+    /// True when any tracing is selected.
+    pub fn is_on(self) -> bool {
+        self != TraceMode::Off
+    }
+
+    /// Segment byte cap a [`RotatingWriter`] should use for this mode.
+    pub fn segment_cap(self) -> usize {
+        match self {
+            TraceMode::Rotating => DEFAULT_SEGMENT_CAP,
+            _ => usize::MAX,
+        }
+    }
+}
+
+/// Which recovery mechanism acted (or which loss timer fired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Tail loss probe.
+    Tlp,
+    /// Retransmission timeout.
+    Rto,
+    /// Dup-ack / nack-threshold fast retransmit.
+    FastRetx,
+    /// Watchdog gave the connection up.
+    GiveUp,
+}
+
+impl RecoveryKind {
+    /// Minimized wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryKind::Tlp => "tlp",
+            RecoveryKind::Rto => "rto",
+            RecoveryKind::FastRetx => "fr",
+            RecoveryKind::GiveUp => "gu",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RecoveryKind> {
+        Some(match s {
+            "tlp" => RecoveryKind::Tlp,
+            "rto" => RecoveryKind::Rto,
+            "fr" => RecoveryKind::FastRetx,
+            "gu" => RecoveryKind::GiveUp,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace event. Packet numbers double as TCP sequence
+/// numbers; sizes are wire bytes as charged to the link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Packet sent (`elicit` = ack-eliciting, as in qlog's
+    /// `packet_sent.ack_eliciting`; pure control/ACK frames are not).
+    PktTx {
+        /// Packet number (QUIC) or starting sequence number (TCP).
+        pn: u64,
+        /// Wire size in bytes.
+        size: u64,
+        /// Ack-eliciting (retransmittable) packet.
+        elicit: bool,
+    },
+    /// Packet received.
+    PktRx {
+        /// Packet number (QUIC) or starting sequence number (TCP).
+        pn: u64,
+        /// Wire size in bytes.
+        size: u64,
+    },
+    /// An ack frame/segment was processed; `newly_acked` bytes left the
+    /// flight.
+    AckProcessed {
+        /// Newly acknowledged bytes.
+        newly_acked: u64,
+    },
+    /// A packet was declared lost.
+    Loss {
+        /// Packet number (QUIC) or starting sequence number (TCP).
+        pn: u64,
+    },
+    /// The congestion-control state label changed.
+    CcState {
+        /// The new state label (Table 3 vocabulary).
+        state: String,
+    },
+    /// The congestion window changed.
+    Cwnd {
+        /// New window in bytes.
+        bytes: u64,
+    },
+    /// A recovery decision was taken.
+    Recovery {
+        /// Which mechanism acted.
+        kind: RecoveryKind,
+    },
+    /// The loss/RTO timer was (re-)armed.
+    TimerArm {
+        /// Deadline the timer was armed for, nanoseconds.
+        deadline_ns: u64,
+    },
+    /// An armed loss timer fired.
+    TimerFire {
+        /// Which timer fired.
+        kind: RecoveryKind,
+    },
+    /// A fault window opened (synthesized from the [`FaultPlan`], never
+    /// emitted by a connection — pure function of the plan).
+    FaultOn {
+        /// Fault kind label (`blackout`, `flap`, ... — repro spelling).
+        kind: String,
+        /// Direction label (`up` / `down` / `both`).
+        dir: String,
+    },
+    /// A fault window closed.
+    FaultOff {
+        /// Fault kind label.
+        kind: String,
+        /// Direction label.
+        dir: String,
+    },
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time, nanoseconds since experiment start.
+    pub t: u64,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+/// Per-connection event recorder. Constructed enabled or disabled once
+/// (from [`TraceMode::from_env`] at connection construction); when
+/// disabled every emit method inlines to a single branch and the record
+/// vector never allocates.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    /// Last emitted cc-state label, for change-only emission.
+    last_state: Option<String>,
+    log: Vec<TraceRecord>,
+}
+
+impl Tracer {
+    /// A tracer honoring `LONGLOOK_TRACE` (off → disabled no-op).
+    pub fn from_env() -> Tracer {
+        Tracer::new(TraceMode::from_env().is_on())
+    }
+
+    /// Explicitly enabled or disabled tracer.
+    pub fn new(enabled: bool) -> Tracer {
+        Tracer {
+            enabled,
+            last_state: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Everything recorded so far, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.log
+    }
+
+    #[inline]
+    fn push(&mut self, t: u64, ev: TraceEvent) {
+        self.log.push(TraceRecord { t, ev });
+    }
+
+    /// Packet sent (`elicit` = ack-eliciting).
+    #[inline]
+    pub fn pkt_tx(&mut self, t: u64, pn: u64, size: u64, elicit: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t, TraceEvent::PktTx { pn, size, elicit });
+    }
+
+    /// Packet received.
+    #[inline]
+    pub fn pkt_rx(&mut self, t: u64, pn: u64, size: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t, TraceEvent::PktRx { pn, size });
+    }
+
+    /// Ack processed.
+    #[inline]
+    pub fn ack(&mut self, t: u64, newly_acked: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t, TraceEvent::AckProcessed { newly_acked });
+    }
+
+    /// Packet declared lost.
+    #[inline]
+    pub fn loss(&mut self, t: u64, pn: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t, TraceEvent::Loss { pn });
+    }
+
+    /// Congestion-control state observation; deduplicated so only
+    /// changes are recorded.
+    #[inline]
+    pub fn cc_state(&mut self, t: u64, label: &str) {
+        if !self.enabled {
+            return;
+        }
+        if self.last_state.as_deref() == Some(label) {
+            return;
+        }
+        self.last_state = Some(label.to_string());
+        self.push(
+            t,
+            TraceEvent::CcState {
+                state: label.to_string(),
+            },
+        );
+    }
+
+    /// Congestion window change (callers already emit change-only).
+    #[inline]
+    pub fn cwnd(&mut self, t: u64, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t, TraceEvent::Cwnd { bytes });
+    }
+
+    /// Recovery decision.
+    #[inline]
+    pub fn recovery(&mut self, t: u64, kind: RecoveryKind) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t, TraceEvent::Recovery { kind });
+    }
+
+    /// Loss timer armed for `deadline_ns`.
+    #[inline]
+    pub fn timer_arm(&mut self, t: u64, deadline_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t, TraceEvent::TimerArm { deadline_ns });
+    }
+
+    /// Loss timer fired.
+    #[inline]
+    pub fn timer_fire(&mut self, t: u64, kind: RecoveryKind) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t, TraceEvent::TimerFire { kind });
+    }
+}
+
+/// Merge two time-sorted record slices into one time-sorted vector;
+/// stable, with `a`-side records first on ties.
+pub fn merge_by_time(a: &[TraceRecord], b: &[TraceRecord]) -> Vec<TraceRecord> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].t <= b[j].t {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON-SEQ codec (minimized field names)
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encode one record as RS + minimized-key JSON + newline.
+pub fn encode_record(rec: &TraceRecord) -> String {
+    let mut s = String::with_capacity(48);
+    s.push(RECORD_SEP);
+    s.push_str(&format!("{{\"t\":{}", rec.t));
+    match &rec.ev {
+        TraceEvent::PktTx { pn, size, elicit } => {
+            s.push_str(&format!(",\"k\":\"tx\",\"pn\":{pn},\"sz\":{size}"));
+            if *elicit {
+                s.push_str(",\"el\":1");
+            }
+        }
+        TraceEvent::PktRx { pn, size } => {
+            s.push_str(&format!(",\"k\":\"rx\",\"pn\":{pn},\"sz\":{size}"));
+        }
+        TraceEvent::AckProcessed { newly_acked } => {
+            s.push_str(&format!(",\"k\":\"ack\",\"nb\":{newly_acked}"));
+        }
+        TraceEvent::Loss { pn } => {
+            s.push_str(&format!(",\"k\":\"loss\",\"pn\":{pn}"));
+        }
+        TraceEvent::CcState { state } => {
+            s.push_str(",\"k\":\"st\",\"s\":");
+            escape_into(&mut s, state);
+        }
+        TraceEvent::Cwnd { bytes } => {
+            s.push_str(&format!(",\"k\":\"cw\",\"b\":{bytes}"));
+        }
+        TraceEvent::Recovery { kind } => {
+            s.push_str(&format!(",\"k\":\"rec\",\"r\":\"{}\"", kind.label()));
+        }
+        TraceEvent::TimerArm { deadline_ns } => {
+            s.push_str(&format!(",\"k\":\"ta\",\"at\":{deadline_ns}"));
+        }
+        TraceEvent::TimerFire { kind } => {
+            s.push_str(&format!(",\"k\":\"tf\",\"r\":\"{}\"", kind.label()));
+        }
+        TraceEvent::FaultOn { kind, dir } => {
+            s.push_str(",\"k\":\"f+\",\"f\":");
+            escape_into(&mut s, kind);
+            s.push_str(",\"d\":");
+            escape_into(&mut s, dir);
+        }
+        TraceEvent::FaultOff { kind, dir } => {
+            s.push_str(",\"k\":\"f-\",\"f\":");
+            escape_into(&mut s, kind);
+            s.push_str(",\"d\":");
+            escape_into(&mut s, dir);
+        }
+    }
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+/// Encode a whole record sequence as one JSON-SEQ string.
+pub fn encode_seq(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&encode_record(r));
+    }
+    out
+}
+
+/// Flat field value inside one record object.
+enum Field {
+    Num(u64),
+    Str(String),
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char,
+                self.pos,
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain UTF-8 bytes at once.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.s[start..self.pos])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?,
+            );
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        // Surrogate pairs, for completeness; our encoder
+                        // only escapes control characters.
+                        if (0xD800..0xDC00).contains(&cp) {
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.parse_hex4()?;
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            out.push(char::from_u32(c).ok_or_else(|| "bad surrogate".to_string())?);
+                        } else {
+                            out.push(
+                                char::from_u32(cp).ok_or_else(|| "bad codepoint".to_string())?,
+                            );
+                        }
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                other => return Err(format!("unterminated string ({other:?})")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| "truncated \\u".to_string())?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit {:?}", b as char))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_num(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .unwrap()
+            .parse::<u64>()
+            .map_err(|e| e.to_string())
+    }
+
+    /// Parse one flat `{"key":value,...}` object of numbers and strings.
+    fn parse_object(&mut self) -> Result<Vec<(String, Field)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let val = match self.peek() {
+                Some(b'"') => Field::Str(self.parse_string()?),
+                _ => Field::Num(self.parse_num()?),
+            };
+            fields.push((key, val));
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(fields),
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+}
+
+fn field_num(fields: &[(String, Field)], key: &str) -> Result<u64, String> {
+    fields
+        .iter()
+        .find_map(|(k, v)| match v {
+            Field::Num(n) if k == key => Some(*n),
+            _ => None,
+        })
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn field_str<'a>(fields: &'a [(String, Field)], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find_map(|(k, v)| match v {
+            Field::Str(s) if k == key => Some(s.as_str()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+/// Parse one JSON-SEQ record line (with or without the RS prefix and
+/// trailing newline) back to the typed record.
+pub fn parse_record(line: &str) -> Result<TraceRecord, String> {
+    let line = line.trim_end_matches('\n').trim_start_matches(RECORD_SEP);
+    let mut p = Parser::new(line);
+    let fields = p.parse_object()?;
+    if p.pos != p.s.len() {
+        return Err(format!("trailing bytes after record at {}", p.pos));
+    }
+    let t = field_num(&fields, "t")?;
+    let kind = field_str(&fields, "k")?;
+    let ev = match kind {
+        "tx" => TraceEvent::PktTx {
+            pn: field_num(&fields, "pn")?,
+            size: field_num(&fields, "sz")?,
+            elicit: field_num(&fields, "el").unwrap_or(0) != 0,
+        },
+        "rx" => TraceEvent::PktRx {
+            pn: field_num(&fields, "pn")?,
+            size: field_num(&fields, "sz")?,
+        },
+        "ack" => TraceEvent::AckProcessed {
+            newly_acked: field_num(&fields, "nb")?,
+        },
+        "loss" => TraceEvent::Loss {
+            pn: field_num(&fields, "pn")?,
+        },
+        "st" => TraceEvent::CcState {
+            state: field_str(&fields, "s")?.to_string(),
+        },
+        "cw" => TraceEvent::Cwnd {
+            bytes: field_num(&fields, "b")?,
+        },
+        "rec" => TraceEvent::Recovery {
+            kind: RecoveryKind::parse(field_str(&fields, "r")?)
+                .ok_or_else(|| "unknown recovery kind".to_string())?,
+        },
+        "ta" => TraceEvent::TimerArm {
+            deadline_ns: field_num(&fields, "at")?,
+        },
+        "tf" => TraceEvent::TimerFire {
+            kind: RecoveryKind::parse(field_str(&fields, "r")?)
+                .ok_or_else(|| "unknown timer kind".to_string())?,
+        },
+        "f+" => TraceEvent::FaultOn {
+            kind: field_str(&fields, "f")?.to_string(),
+            dir: field_str(&fields, "d")?.to_string(),
+        },
+        "f-" => TraceEvent::FaultOff {
+            kind: field_str(&fields, "f")?.to_string(),
+            dir: field_str(&fields, "d")?.to_string(),
+        },
+        other => return Err(format!("unknown event kind '{other}'")),
+    };
+    Ok(TraceRecord { t, ev })
+}
+
+/// Parse a whole JSON-SEQ stream (e.g. concatenated writer segments).
+pub fn parse_seq(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for chunk in text.split(RECORD_SEP) {
+        let chunk = chunk.trim_end_matches('\n');
+        if chunk.is_empty() {
+            continue;
+        }
+        out.push(parse_record(chunk)?);
+    }
+    Ok(out)
+}
+
+/// Std-only rotating JSON-SEQ writer: appends encoded records to an
+/// in-memory segment and starts a new one when the current segment would
+/// exceed the byte cap. A record is never split across segments; a
+/// record larger than the cap gets a segment of its own.
+#[derive(Debug, Clone)]
+pub struct RotatingWriter {
+    cap: usize,
+    segments: Vec<String>,
+}
+
+impl RotatingWriter {
+    /// Writer with a per-segment byte cap (`usize::MAX` = never rotate).
+    pub fn new(cap: usize) -> RotatingWriter {
+        RotatingWriter {
+            cap: cap.max(1),
+            segments: vec![String::new()],
+        }
+    }
+
+    /// Writer sized for a [`TraceMode`] (`On` = single unbounded
+    /// segment, `Rotating` = [`DEFAULT_SEGMENT_CAP`]).
+    pub fn for_mode(mode: TraceMode) -> RotatingWriter {
+        RotatingWriter::new(mode.segment_cap())
+    }
+
+    /// Append one record, rotating first if it would overflow the cap.
+    pub fn push(&mut self, rec: &TraceRecord) {
+        let line = encode_record(rec);
+        let cur = self.segments.last_mut().expect("always one segment");
+        if !cur.is_empty() && cur.len() + line.len() > self.cap {
+            self.segments.push(line);
+        } else {
+            cur.push_str(&line);
+        }
+    }
+
+    /// Append a whole record sequence.
+    pub fn push_all(&mut self, records: &[TraceRecord]) {
+        for r in records {
+            self.push(r);
+        }
+    }
+
+    /// The finished segments, in order (the last may be partial; a
+    /// fresh writer has one empty segment).
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// All segments joined back into one JSON-SEQ stream.
+    pub fn concat(&self) -> String {
+        self.segments.concat()
+    }
+
+    /// Write the segments as `trace_NNN.jsonseq` files under `dir`.
+    pub fn write_dir(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::new();
+        for (i, seg) in self.segments.iter().enumerate() {
+            let path = dir.join(format!("trace_{i:03}.jsonseq"));
+            std::fs::write(&path, seg)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One test flips the env var through every spelling:
+    /// `LONGLOOK_TRACE` is process-global, so separate tests would race.
+    #[test]
+    fn trace_mode_from_env_resolves_all_spellings() {
+        let saved = std::env::var("LONGLOOK_TRACE").ok();
+        std::env::remove_var("LONGLOOK_TRACE");
+        assert_eq!(TraceMode::from_env(), TraceMode::Off);
+        assert!(!TraceMode::Off.is_on());
+        assert!(TraceMode::On.is_on());
+        assert!(TraceMode::Rotating.is_on());
+        for (v, want) in [
+            ("off", TraceMode::Off),
+            ("OFF", TraceMode::Off),
+            ("", TraceMode::Off),
+            ("on", TraceMode::On),
+            ("On", TraceMode::On),
+            ("rotating", TraceMode::Rotating),
+            ("ROTATING", TraceMode::Rotating),
+            ("junk-value", TraceMode::Off), // warns once, falls back
+        ] {
+            std::env::set_var("LONGLOOK_TRACE", v);
+            assert_eq!(TraceMode::from_env(), want, "LONGLOOK_TRACE={v:?}");
+        }
+        match saved {
+            Some(v) => std::env::set_var("LONGLOOK_TRACE", v),
+            None => std::env::remove_var("LONGLOOK_TRACE"),
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new(false);
+        t.pkt_tx(1, 0, 1200, true);
+        t.pkt_rx(2, 0, 40);
+        t.ack(3, 1200);
+        t.loss(4, 0);
+        t.cc_state(5, "SlowStart");
+        t.cwnd(6, 14520);
+        t.recovery(7, RecoveryKind::Rto);
+        t.timer_arm(8, 99);
+        t.timer_fire(9, RecoveryKind::Tlp);
+        assert!(t.records().is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn cc_state_emits_changes_only() {
+        let mut t = Tracer::new(true);
+        t.cc_state(1, "Init");
+        t.cc_state(2, "Init");
+        t.cc_state(3, "SlowStart");
+        t.cc_state(4, "SlowStart");
+        t.cc_state(5, "Init");
+        let states: Vec<&str> = t
+            .records()
+            .iter()
+            .filter_map(|r| match &r.ev {
+                TraceEvent::CcState { state } => Some(state.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(states, ["Init", "SlowStart", "Init"]);
+    }
+
+    #[test]
+    fn merge_by_time_is_stable() {
+        let a = vec![
+            TraceRecord {
+                t: 1,
+                ev: TraceEvent::Loss { pn: 1 },
+            },
+            TraceRecord {
+                t: 5,
+                ev: TraceEvent::Loss { pn: 2 },
+            },
+        ];
+        let b = vec![
+            TraceRecord {
+                t: 1,
+                ev: TraceEvent::FaultOn {
+                    kind: "blackout".into(),
+                    dir: "both".into(),
+                },
+            },
+            TraceRecord {
+                t: 3,
+                ev: TraceEvent::FaultOff {
+                    kind: "blackout".into(),
+                    dir: "both".into(),
+                },
+            },
+        ];
+        let m = merge_by_time(&a, &b);
+        let ts: Vec<u64> = m.iter().map(|r| r.t).collect();
+        assert_eq!(ts, [1, 1, 3, 5]);
+        // Tie at t=1: a-side (the connection's Loss) first.
+        assert!(matches!(m[0].ev, TraceEvent::Loss { .. }));
+    }
+
+    #[test]
+    fn record_lines_are_rfc7464_shaped() {
+        let line = encode_record(&TraceRecord {
+            t: 42,
+            ev: TraceEvent::PktTx {
+                pn: 7,
+                size: 1392,
+                elicit: true,
+            },
+        });
+        assert!(line.starts_with(RECORD_SEP));
+        assert!(line.ends_with('\n'));
+        assert_eq!(
+            &line[1..line.len() - 1],
+            r#"{"t":42,"k":"tx","pn":7,"sz":1392,"el":1}"#
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        assert!(parse_record("{}").is_err());
+        assert!(parse_record(r#"{"t":1}"#).is_err());
+        assert!(parse_record(r#"{"t":1,"k":"melt"}"#).is_err());
+        assert!(parse_record(r#"{"t":1,"k":"tx","pn":2}"#).is_err());
+        assert!(parse_record(r#"{"t":1,"k":"rec","r":"warp"}"#).is_err());
+        assert!(parse_record(r#"{"t":1,"k":"loss","pn":2} extra"#).is_err());
+    }
+
+    // ---- proptest strategies -------------------------------------------
+
+    fn arb_label() -> impl Strategy<Value = String> {
+        // Realistic state labels plus adversarial strings built from a
+        // palette that exercises escaping: quotes, backslashes, control
+        // characters (including the RS record separator), and multi-byte
+        // UTF-8 up to astral plane.
+        const PALETTE: &[char] = &[
+            'a', 'B', '3', '_', '-', ' ', '"', '\\', '/', '\n', '\t', '\u{1}', '\u{1e}', 'é', 'λ',
+            '汉', '🦀',
+        ];
+        prop_oneof![
+            Just("SlowStart".to_string()),
+            Just("CongestionAvoidance".to_string()),
+            Just("RetransmissionTimeout".to_string()),
+            proptest::collection::vec(any::<u8>(), 0..12).prop_map(|bytes| {
+                bytes
+                    .iter()
+                    .map(|&b| PALETTE[b as usize % PALETTE.len()])
+                    .collect()
+            }),
+        ]
+    }
+
+    fn arb_event() -> impl Strategy<Value = TraceEvent> {
+        prop_oneof![
+            (any::<u64>(), any::<u64>(), any::<bool>())
+                .prop_map(|(pn, size, elicit)| TraceEvent::PktTx { pn, size, elicit }),
+            (any::<u64>(), any::<u64>()).prop_map(|(pn, size)| TraceEvent::PktRx { pn, size }),
+            any::<u64>().prop_map(|newly_acked| TraceEvent::AckProcessed { newly_acked }),
+            any::<u64>().prop_map(|pn| TraceEvent::Loss { pn }),
+            arb_label().prop_map(|state| TraceEvent::CcState { state }),
+            any::<u64>().prop_map(|bytes| TraceEvent::Cwnd { bytes }),
+            prop_oneof![
+                Just(RecoveryKind::Tlp),
+                Just(RecoveryKind::Rto),
+                Just(RecoveryKind::FastRetx),
+                Just(RecoveryKind::GiveUp),
+            ]
+            .prop_map(|kind| TraceEvent::Recovery { kind }),
+            any::<u64>().prop_map(|deadline_ns| TraceEvent::TimerArm { deadline_ns }),
+            prop_oneof![Just(RecoveryKind::Tlp), Just(RecoveryKind::Rto)]
+                .prop_map(|kind| TraceEvent::TimerFire { kind }),
+            (arb_label(), arb_label()).prop_map(|(kind, dir)| TraceEvent::FaultOn { kind, dir }),
+            (arb_label(), arb_label()).prop_map(|(kind, dir)| TraceEvent::FaultOff { kind, dir }),
+        ]
+    }
+
+    fn arb_records() -> impl Strategy<Value = Vec<TraceRecord>> {
+        proptest::collection::vec(
+            (any::<u64>(), arb_event()).prop_map(|(t, ev)| TraceRecord { t, ev }),
+            0..64,
+        )
+    }
+
+    proptest! {
+        /// Minimized-key encoding parses back to the exact typed enum.
+        #[test]
+        fn encoding_round_trips_to_typed_events(records in arb_records()) {
+            let encoded = encode_seq(&records);
+            let parsed = parse_seq(&encoded).expect("parse");
+            prop_assert_eq!(parsed, records);
+        }
+
+        /// Rotation never splits a record and concat(segments) is the
+        /// exact unrotated stream.
+        #[test]
+        fn rotation_never_splits_records(
+            records in arb_records(),
+            cap in 16usize..512,
+        ) {
+            let mut w = RotatingWriter::new(cap);
+            w.push_all(&records);
+            for seg in w.segments() {
+                // Every segment is a whole number of records...
+                let n = parse_seq(seg).expect("segment parses standalone").len();
+                // ...and respects the cap unless a single record exceeds it.
+                if seg.len() > cap {
+                    prop_assert_eq!(n, 1, "oversized segment must hold one record");
+                }
+            }
+            prop_assert_eq!(w.concat(), encode_seq(&records));
+            let round = parse_seq(&w.concat()).expect("concat parses");
+            prop_assert_eq!(round, records);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Golden structured-trace snapshots.
+//!
+//! Pins the exact JSON-SEQ trace (`longlook_sim::trace::encode_seq`) of
+//! two small trauma cells — a clean QUIC transfer and a TCP transfer cut
+//! by a blackout — byte for byte. Any silent drift in the trace layer (a
+//! reordered emit, a changed key, a different analytic packet size, a
+//! missing dedup) or in the transports themselves fails *this named
+//! test* instead of surfacing as a confusing analyzer diff downstream.
+//!
+//! The golden constants store one JSON text per line; the checker
+//! re-frames them as RFC 7464 JSON-SEQ (RS `\u{1e}` + JSON + LF) before
+//! comparing, so the on-disk framing is pinned too while the constants
+//! stay printable. If a change is *intentional*, re-bless with
+//! `LONGLOOK_BLESS=1 cargo test -p longlook-integration --test
+//! golden_trace -- --nocapture` and paste the printed block over the
+//! constant it names.
+//!
+//! Everything runs inside ONE `#[test]`: capture pins `LONGLOOK_TRACE`
+//! (via `run_trauma_cell_traced`) and this test additionally pins
+//! `LONGLOOK_BATCH` / `LONGLOOK_WIRE` to their defaults — all
+//! process-global env vars.
+
+use longlook_core::prelude::*;
+use longlook_sim::trace::{encode_seq, parse_seq};
+
+/// Run `f` with `key` set to `val`, restoring the prior value afterwards.
+fn with_env<T>(key: &str, val: &str, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var(key).ok();
+    std::env::set_var(key, val);
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
+    }
+    out
+}
+
+fn quic_clean_scenario() -> Scenario {
+    Scenario::new(NetProfile::baseline(10.0), PageSpec::single(2 * 1024))
+        .with_rounds(1)
+        .with_seed(9601)
+}
+
+fn tcp_blackout_scenario() -> Scenario {
+    let plan = FaultPlan::new().with_event(FaultEvent {
+        at: Time::ZERO + Dur::from_millis(30),
+        dur: Dur::from_millis(40),
+        dir: FaultDir::Both,
+        kind: FaultKind::Blackout,
+    });
+    Scenario::new(
+        NetProfile::baseline(5.0).with_fault(plan),
+        PageSpec::single(8 * 1024),
+    )
+    .with_rounds(1)
+    .with_seed(9602)
+}
+
+/// Capture the server-side trace of round 0 as JSON-SEQ bytes.
+fn capture(proto: &ProtoConfig, sc: &Scenario) -> String {
+    let (_, records) = run_trauma_cell_traced(proto, sc, 0);
+    encode_seq(&records)
+}
+
+/// Re-frame a printable golden (one JSON text per line) as JSON-SEQ.
+fn frame(golden: &str) -> String {
+    golden
+        .trim()
+        .lines()
+        .map(|l| format!("\u{1e}{}\n", l.trim()))
+        .collect()
+}
+
+fn check(name: &str, proto: &ProtoConfig, sc: &Scenario, golden: &str) {
+    let encoded = capture(proto, sc);
+    // Same-seed replay must be byte-identical before anything else: a
+    // golden is meaningless if capture itself is unstable.
+    let replay = capture(proto, sc);
+    assert_eq!(
+        encoded, replay,
+        "{name}: same-seed trace capture is not byte-stable"
+    );
+    // The pinned bytes must round-trip through the parser losslessly.
+    let parsed = parse_seq(&encoded)
+        .unwrap_or_else(|e| panic!("{name}: captured trace does not parse as JSON-SEQ: {e}"));
+    assert_eq!(
+        encode_seq(&parsed),
+        encoded,
+        "{name}: parse/encode round-trip changed the bytes"
+    );
+    if std::env::var("LONGLOOK_BLESS").is_ok() {
+        eprintln!("=== {name} ===\n{}", encoded.replace('\u{1e}', ""));
+        return;
+    }
+    assert_eq!(
+        encoded,
+        frame(golden),
+        "\n{name}: trace drifted from the golden snapshot.\n\
+         If this change is intentional, bless a new snapshot:\n\
+         LONGLOOK_BLESS=1 cargo test -p longlook-integration --test golden_trace -- --nocapture\n\
+         --- actual (RS stripped) ---\n{}",
+        encoded.replace('\u{1e}', "")
+    );
+}
+
+const GOLDEN_TRACE_QUIC_CLEAN: &str = r#"
+{"t":18433857,"k":"st","s":"Init"}
+{"t":18433857,"k":"rx","pn":1,"sz":1207}
+{"t":18433857,"k":"st","s":"SlowStart"}
+{"t":18433857,"k":"st","s":"ApplicationLimited"}
+{"t":18433857,"k":"tx","pn":1,"sz":389,"el":1}
+{"t":18433857,"k":"ta","at":218433857}
+{"t":22433857,"k":"st","s":"SlowStart"}
+{"t":22433857,"k":"tx","pn":2,"sz":1409,"el":1}
+{"t":22433857,"k":"ta","at":222433857}
+{"t":22433857,"k":"tx","pn":3,"sz":893,"el":1}
+{"t":22433857,"k":"ta","at":222433857}
+{"t":22433857,"k":"st","s":"ApplicationLimited"}
+"#;
+
+const GOLDEN_TRACE_TCP_BLACKOUT: &str = r#"
+{"t":17747414,"k":"st","s":"Init"}
+{"t":17747414,"k":"rx","pn":0,"sz":54}
+{"t":17747414,"k":"tx","pn":0,"sz":54}
+{"t":30000000,"k":"f+","f":"blackout","d":"both"}
+{"t":70000000,"k":"f-","f":"blackout","d":"both"}
+{"t":253242742,"k":"rx","pn":0,"sz":404}
+{"t":253242742,"k":"ack","nb":0}
+{"t":253242742,"k":"cw","b":14000}
+{"t":253242742,"k":"ta","at":453242742}
+{"t":253242742,"k":"tx","pn":0,"sz":1454,"el":1}
+{"t":253242742,"k":"ta","at":453242742}
+{"t":253242742,"k":"tx","pn":1400,"sz":1454,"el":1}
+{"t":253242742,"k":"ta","at":453242742}
+{"t":253242742,"k":"tx","pn":2800,"sz":454,"el":1}
+{"t":288739070,"k":"rx","pn":0,"sz":54}
+{"t":288739070,"k":"ack","nb":2800}
+{"t":288739070,"k":"ta","at":488739070}
+{"t":288739070,"k":"cw","b":15400}
+{"t":288740070,"k":"rx","pn":350,"sz":408}
+{"t":288740070,"k":"ack","nb":400}
+{"t":288740070,"k":"cw","b":15800}
+{"t":288740070,"k":"st","s":"SlowStart"}
+{"t":288740070,"k":"ta","at":488740070}
+{"t":288740070,"k":"tx","pn":3200,"sz":118,"el":1}
+{"t":288740070,"k":"st","s":"ApplicationLimited"}
+{"t":288990070,"k":"ta","at":488990070}
+{"t":288990070,"k":"tx","pn":3264,"sz":1471,"el":1}
+{"t":288990070,"k":"st","s":"SlowStart"}
+{"t":288990070,"k":"ta","at":488990070}
+{"t":288990070,"k":"tx","pn":4664,"sz":1454,"el":1}
+{"t":288990070,"k":"ta","at":488990070}
+{"t":288990070,"k":"tx","pn":6064,"sz":1454,"el":1}
+{"t":288990070,"k":"ta","at":488990070}
+{"t":288990070,"k":"tx","pn":7464,"sz":1454,"el":1}
+{"t":288990070,"k":"ta","at":488990070}
+{"t":288990070,"k":"tx","pn":8864,"sz":1454,"el":1}
+{"t":288990070,"k":"ta","at":488990070}
+{"t":288990070,"k":"tx","pn":10264,"sz":1355,"el":1}
+{"t":288990070,"k":"st","s":"ApplicationLimited"}
+"#;
+
+#[test]
+fn traces_match_golden_snapshots() {
+    with_env("LONGLOOK_BATCH", "on", || {
+        with_env("LONGLOOK_WIRE", "structured", || {
+            check(
+                "GOLDEN_TRACE_QUIC_CLEAN",
+                &ProtoConfig::Quic(QuicConfig::default()),
+                &quic_clean_scenario(),
+                GOLDEN_TRACE_QUIC_CLEAN,
+            );
+            check(
+                "GOLDEN_TRACE_TCP_BLACKOUT",
+                &ProtoConfig::Tcp(TcpConfig::default()),
+                &tcp_blackout_scenario(),
+                GOLDEN_TRACE_TCP_BLACKOUT,
+            );
+        })
+    });
+}

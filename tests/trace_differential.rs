@@ -1,0 +1,217 @@
+//! Trace-layer differential referee: `LONGLOOK_TRACE=on` vs `off`.
+//!
+//! The structured trace layer observes the transports; it must never
+//! steer them. Every emit point sits after the decision it records, the
+//! tracer draws no randomness, and the TimerArm deadline is computed by
+//! the same pure function the deferred re-arm resolves — so switching
+//! tracing on must leave every observable bit unchanged:
+//!
+//! * bit-identical `RunRecord`s and `StateTrace`s over clean / lossy /
+//!   jittered cells for both protocols;
+//! * identical `TraumaRecord`s on a faulted cell (a blackout splitting
+//!   the transfer);
+//! * identical event counts and scheduler high-water marks on a bulk
+//!   transfer;
+//! * all of the above regardless of the runner's parallelism (Serial
+//!   and Threads(4) shard the same cells).
+//!
+//! Everything runs inside ONE `#[test]` because the A/B switch is the
+//! `LONGLOOK_TRACE` environment variable, which is process-global: two
+//! tests flipping it concurrently in the same binary would race.
+
+use longlook_core::prelude::*;
+use longlook_transport::conn::ConnStats;
+
+/// Run `f` with `LONGLOOK_TRACE` set to `mode`, restoring the prior
+/// value afterwards.
+fn with_trace<T>(mode: &str, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("LONGLOOK_TRACE").ok();
+    std::env::set_var("LONGLOOK_TRACE", mode);
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("LONGLOOK_TRACE", v),
+        None => std::env::remove_var("LONGLOOK_TRACE"),
+    }
+    out
+}
+
+/// Exhaustive deterministic rendering of a record set — every counter,
+/// the full state trace, and the complete cwnd timeline as exact
+/// integers, so equality is bit-for-bit.
+fn render(records: &[RunRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let stats_line = |s: &ConnStats| {
+        format!(
+            "sent={} recv={} bytes_out={} bytes_in={} acked={} rexmit={} spurious={} \
+             losses={} rto={} tlp={} acks={} max_cwnd={}",
+            s.packets_sent,
+            s.packets_received,
+            s.bytes_sent,
+            s.bytes_received,
+            s.bytes_acked,
+            s.retransmissions,
+            s.spurious_retransmissions,
+            s.losses_detected,
+            s.rto_count,
+            s.tlp_count,
+            s.acks_sent,
+            s.max_cwnd,
+        )
+    };
+    for (k, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "round {k}: plt_ns={} ended_ns={}",
+            r.plt
+                .map_or_else(|| "none".into(), |d| d.as_nanos().to_string()),
+            r.ended_at.as_nanos(),
+        );
+        let _ = writeln!(out, "  client {}", stats_line(&r.client_stats));
+        if let Some(s) = &r.server_stats {
+            let _ = writeln!(out, "  server {}", stats_line(s));
+        }
+        if let Some(t) = &r.server_trace {
+            let _ = writeln!(
+                out,
+                "  trace={} span_ns={}",
+                t.labels().join(">"),
+                t.span.as_nanos()
+            );
+        }
+        for &(t, w) in &r.server_cwnd {
+            let _ = writeln!(out, "  cwnd {} {}", t.as_nanos(), w);
+        }
+    }
+    out
+}
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        (
+            "clean",
+            Scenario::new(NetProfile::baseline(10.0), PageSpec::single(40 * 1024))
+                .with_rounds(2)
+                .with_seed(9501),
+        ),
+        (
+            "lossy",
+            Scenario::new(
+                NetProfile::baseline(5.0).with_loss(0.02),
+                PageSpec::single(80 * 1024),
+            )
+            .with_rounds(2)
+            .with_seed(9502),
+        ),
+        (
+            "jittered",
+            Scenario::new(
+                NetProfile::baseline(20.0).with_jitter(Dur::from_millis(4)),
+                PageSpec::uniform(5, 20 * 1024),
+            )
+            .with_rounds(2)
+            .with_seed(9503),
+        ),
+    ]
+}
+
+/// A blackout opening mid-transfer: losses, an RTO storm, and a recovery
+/// — the densest emit schedule the trace layer has.
+fn faulted_scenario() -> Scenario {
+    let plan = FaultPlan::new().with_event(FaultEvent {
+        at: Time::ZERO + Dur::from_millis(30),
+        dur: Dur::from_millis(80),
+        dir: FaultDir::Both,
+        kind: FaultKind::Blackout,
+    });
+    Scenario::new(
+        NetProfile::baseline(5.0).with_fault(plan),
+        PageSpec::single(120 * 1024),
+    )
+    .with_rounds(1)
+    .with_seed(9504)
+}
+
+/// One bulk page load; returns (events_processed, scheduled_peak).
+fn bulk_cell(proto: &ProtoConfig) -> (u64, u64) {
+    let net = NetProfile::baseline(20.0);
+    let page = PageSpec::single(2 * 1024 * 1024);
+    let mut tb = Testbed::direct(
+        9599,
+        &net,
+        DeviceProfile::DESKTOP,
+        page.clone(),
+        vec![FlowSpec {
+            proto: proto.clone(),
+            zero_rtt: false,
+            app: Box::new(WebClient::new(page)),
+        }],
+        None,
+        true,
+    );
+    tb.run(Dur::from_secs(120));
+    (tb.world.events_processed(), tb.world.scheduled_peak())
+}
+
+#[test]
+fn tracing_on_and_off_are_observationally_identical() {
+    let protos = [
+        ("quic", ProtoConfig::Quic(QuicConfig::default())),
+        ("tcp", ProtoConfig::Tcp(TcpConfig::default())),
+    ];
+
+    // Sanity first: the "on" arm must not be vacuously identical — a run
+    // with tracing enabled actually records events.
+    let (_, traced) = with_trace("off", || {
+        // run_trauma_cell_traced pins LONGLOOK_TRACE=on internally and
+        // restores the prior value; calling it under "off" also proves
+        // the restore.
+        longlook_core::trauma::run_trauma_cell_traced(&protos[0].1, &faulted_scenario(), 0)
+    });
+    assert!(
+        traced.len() > 10,
+        "traced run recorded only {} events",
+        traced.len()
+    );
+    assert_eq!(std::env::var("LONGLOOK_TRACE").ok(), None);
+
+    // Full RunRecord + StateTrace equality over clean / lossy / jittered
+    // cells, under both runner parallelism modes.
+    for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+        for (proto_name, proto) in &protos {
+            for (sc_name, sc) in scenarios() {
+                let on = with_trace("on", || render(&run_records_par(proto, &sc, par)));
+                let off = with_trace("off", || render(&run_records_par(proto, &sc, par)));
+                assert_eq!(
+                    on, off,
+                    "{proto_name}/{sc_name}/{par:?}: RunRecords diverged between \
+                     trace-on and trace-off"
+                );
+            }
+        }
+    }
+
+    // Faulted cell: the full TraumaRecord (outcome, typed errors,
+    // app-level bytes, record) must match field for field.
+    for (proto_name, proto) in &protos {
+        let sc = faulted_scenario();
+        let on = with_trace("on", || run_trauma_cell(proto, &sc, 0));
+        let off = with_trace("off", || run_trauma_cell(proto, &sc, 0));
+        assert_eq!(
+            on, off,
+            "{proto_name}/blackout: TraumaRecord diverged between trace-on \
+             and trace-off"
+        );
+    }
+
+    // Event-loop accounting equality on a bulk transfer: tracing draws no
+    // randomness and schedules nothing, so counts and the scheduler
+    // high-water mark match exactly.
+    for (proto_name, proto) in &protos {
+        let (ev_on, peak_on) = with_trace("on", || bulk_cell(proto));
+        let (ev_off, peak_off) = with_trace("off", || bulk_cell(proto));
+        assert_eq!(ev_on, ev_off, "{proto_name}: events_processed diverged");
+        assert_eq!(peak_on, peak_off, "{proto_name}: scheduled_peak diverged");
+        assert!(ev_on > 1_000, "{proto_name}: bulk cell suspiciously small");
+    }
+}
